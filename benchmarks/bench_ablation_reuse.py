@@ -1,0 +1,54 @@
+"""Experiment AB2 — ablation: subtree reuse via state matching.
+
+DESIGN.md design choice 2.  With reuse disabled (every edit reparses the
+whole token stream through the same IGLR engine), per-edit work reverts
+to batch cost; state matching is what makes the parser incremental.
+"""
+
+from __future__ import annotations
+
+from repro import Document
+from repro.bench import parse_work, render_table
+from repro.langs.calc import calc_language
+from repro.langs.generators import generate_calc_program
+
+SIZES = (100, 400)
+
+
+def _incremental_work(size: int) -> int:
+    doc = Document(calc_language(), generate_calc_program(size, seed=17))
+    doc.parse()
+    offset = doc.text.rindex(";") - 1
+    doc.edit(offset, 1, "9")
+    return parse_work(doc.parse().stats)
+
+
+def _no_reuse_work(size: int) -> int:
+    # Reuse disabled = parse a fresh document over the same final text.
+    doc = Document(calc_language(), generate_calc_program(size, seed=17))
+    doc.parse()
+    offset = doc.text.rindex(";") - 1
+    doc.edit(offset, 1, "9")
+    text = doc.text
+    fresh = Document(calc_language(), text)
+    return parse_work(fresh.parse().stats)
+
+
+def test_ablation_subtree_reuse(benchmark, report_sink):
+    rows = []
+    for size in SIZES:
+        with_reuse = _incremental_work(size)
+        without = _no_reuse_work(size)
+        rows.append((size, with_reuse, without, f"{without / with_reuse:.0f}x"))
+    report_sink(
+        "ablation_reuse",
+        render_table(
+            "Ablation: parse work per edit with and without subtree reuse",
+            ["statements", "with reuse", "without reuse", "penalty"],
+            rows,
+        ),
+    )
+    assert all(row[2] > row[1] * 5 for row in rows)
+    benchmark.pedantic(
+        lambda: _incremental_work(100), rounds=3, iterations=1
+    )

@@ -1,0 +1,120 @@
+"""Experiment AB1 — ablation: production-node merge tables (sharing).
+
+DESIGN.md design choice 1.  Two workloads:
+
+* an ambiguous expression chain, where sharing happens structurally
+  through the GSS (both interpretations flow through merged stack
+  nodes) -- the merge table is not needed and counts match;
+* a Figure-7-style split region where two *separate* parsers carry the
+  same phrase: without Rekers' merge-by-(rule, children) the isomorphic
+  subtrees are duplicated, the under-sharing the paper corrects
+  (section 3.5).
+"""
+
+from __future__ import annotations
+
+from repro import Language
+from repro.bench import render_table
+from repro.dag import count_nodes
+from repro.parser import GLRParser, enumerate_trees
+
+AMBIG = """
+%token NUM /[0-9]+/
+e : e '+' e | NUM ;
+"""
+
+# While the u/v split is live, both parsers parse the same phrase m in
+# different states; p -> 'y' is reduced once per parser over the same
+# terminals.
+SPLIT = """
+%start s
+s : u m 'c' | v m 'e' ;
+u : 'x' ;
+v : 'x' ;
+m : p p ;
+p : 'y' ;
+"""
+
+
+def test_ablation_node_sharing_split_region(benchmark, report_sink):
+    lang = Language.from_dsl(SPLIT)
+    tokens = lang.lexer.lex("x y y c")
+    shared = GLRParser(lang.table, share_nodes=True).parse(list(tokens))
+    unshared = GLRParser(lang.table, share_nodes=False).parse(list(tokens))
+    shared_trees = enumerate_trees(shared.root)
+    unshared_trees = enumerate_trees(unshared.root)
+    # Same language either way...
+    assert set(shared_trees) == set(unshared_trees)
+    rows = [
+        (
+            "shared",
+            shared.stats.nodes_created,
+            count_nodes(shared.root),
+            len(shared_trees),
+        ),
+        (
+            "unshared",
+            unshared.stats.nodes_created,
+            count_nodes(unshared.root),
+            len(unshared_trees),
+        ),
+    ]
+    report_sink(
+        "ablation_sharing_split",
+        render_table(
+            "Ablation: merge tables on a non-deterministic split region "
+            "('x y y c', Figure-7-style)",
+            ["configuration", "nodes created", "dag nodes", "tree readings"],
+            rows,
+        ),
+    )
+    # ...but without the merge table the split duplicates the shared
+    # phrase, and context merging then packs the *duplicates* into
+    # spurious choice nodes: the single parse is reported four times.
+    # This is precisely the under-sharing pathology the paper corrects
+    # (section 3.5).
+    assert unshared.stats.nodes_created > shared.stats.nodes_created
+    assert len(shared_trees) == 1
+    assert len(unshared_trees) > 1
+
+    benchmark(lambda: GLRParser(lang.table).parse(list(tokens)))
+
+
+def test_sharing_in_ambiguous_chain_is_structural(benchmark, report_sink):
+    """In locally-ambiguous regions the GSS itself shares: both
+    interpretations flow through merged stack nodes, so the merge table
+    is a no-op there (and disabling it must not change the forest)."""
+    lang = Language.from_dsl(AMBIG)
+    rows = []
+    for n_operands in (4, 8, 10):
+        text = "+".join(str(i) for i in range(n_operands))
+        tokens = lang.lexer.lex(text)
+        shared = GLRParser(lang.table, share_nodes=True).parse(list(tokens))
+        unshared = GLRParser(lang.table, share_nodes=False).parse(list(tokens))
+        assert sorted(enumerate_trees(shared.root)) == sorted(
+            enumerate_trees(unshared.root)
+        )
+        rows.append(
+            (
+                n_operands,
+                len(enumerate_trees(shared.root)),
+                count_nodes(shared.root),
+                count_nodes(unshared.root),
+            )
+        )
+    report_sink(
+        "ablation_sharing_chain",
+        render_table(
+            "Ambiguous chain: forest stays compact with or without the "
+            "merge table (GSS sharing)",
+            ["operands", "trees", "dag nodes (shared)", "dag nodes (unshared)"],
+            rows,
+        ),
+    )
+    # Compactness is structural: node count grows polynomially while the
+    # tree count explodes.
+    assert rows[-1][1] >= 1000
+    assert rows[-1][2] < 300
+
+    tokens = lang.lexer.lex("+".join(str(i) for i in range(8)))
+    benchmark(lambda: GLRParser(lang.table).parse(list(tokens)))

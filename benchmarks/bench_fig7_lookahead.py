@@ -1,0 +1,73 @@
+"""Experiment F7 — Figure 7 / section 3.3: dynamic lookahead tracking.
+
+Paper: on the LR(2) grammar ``A -> Bc | De; B -> Uz; D -> Vz; U,V -> x``
+a single-lookahead table forces a parser split at ``x``; the nodes
+reduced while both parsers were live (U/V, B/D -- the figure's black
+ellipses) record the non-deterministic sentinel state, while nodes
+reduced after the collapse (A) record ordinary states.  A later
+incremental parse therefore reuses the deterministic suffix but
+decomposes the extended-lookahead region.
+"""
+
+from __future__ import annotations
+
+from repro import Document
+from repro.bench import render_table
+from repro.dag.nodes import NO_STATE
+from repro.langs.lr2 import lookahead_profile, lr2_language
+
+
+def test_fig7_dynamic_lookahead_marking(benchmark, report_sink):
+    lang = lr2_language()
+    doc = Document(lang, "x z c")
+    doc.parse()
+    profile = lookahead_profile(doc.body)
+    rows = [
+        (symbol, "multistate" if extended else "deterministic")
+        for symbol, extended in sorted(profile.items())
+    ]
+    report_sink(
+        "fig7_lookahead",
+        render_table(
+            "Figure 7 (reproduced): lookahead recording per nonterminal",
+            ["nonterminal", "recorded state"],
+            rows,
+        ),
+    )
+    # The figure's black ellipses: U (and B) were reduced during the
+    # split; A was reduced after the collapse.
+    assert profile["u"] is True
+    assert profile["b"] is True
+    assert profile["a"] is False
+
+    def parse_both():
+        for text in ("x z c", "x z e"):
+            d = Document(lang, text)
+            d.parse()
+
+    benchmark(parse_both)
+
+
+def test_fig7_incremental_reuse_respects_lookahead(benchmark, report_sink):
+    """Editing the deciding terminal forces the multistate region to be
+    decomposed and reparsed; the result flips interpretation."""
+    lang = lr2_language()
+    doc = Document(lang, "x z c")
+    doc.parse()
+    assert doc.body.production.rhs == ("b", "c")
+    doc.edit(4, 1, "e")  # c -> e
+    report = doc.parse()
+    assert doc.body.production.rhs == ("d", "e")
+    # The whole (tiny) nondeterministic region was rebuilt: the new tree
+    # has fresh u/v structure, not reused b/u nodes.
+    profile = lookahead_profile(doc.body)
+    assert profile["v"] is True and profile["d"] is True
+    report_sink(
+        "fig7_incremental",
+        render_table(
+            "Figure 7: edit of the deciding terminal flips the parse",
+            ["version", "top production"],
+            [("x z c", "a -> b c"), ("x z e", "a -> d e")],
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+"""Experiment S5a — section 5: batch parsing overhead, LR vs IGLR.
+
+Paper: on deterministic inputs the IGLR parser's initial (batch) parse is
+nearly as fast as the deterministic parser's -- parsing per se is 12% of
+total time for LR vs 15% for IGLR, with node construction dominating
+both.  We compare total batch time for the plain LR driver against the
+IGLR engine on the same (deterministic) token stream, expecting a small
+constant-factor gap, not an order of magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Timing, render_table, time_fn
+from repro.langs.calc import calc_language
+from repro.langs.generators import generate_calc_program
+from repro.parser import GLRParser, LRParser
+
+N_STATEMENTS = 600
+RUNS = 5
+
+
+def _tokens():
+    lang = calc_language()
+    text = generate_calc_program(N_STATEMENTS, seed=11)
+    return lang, lang.lexer.lex(text)
+
+
+def test_sec5_batch_overhead(benchmark, report_sink):
+    lang, tokens = _tokens()
+    lr = LRParser(lang.table)
+    iglr = GLRParser(lang.table)
+
+    # Interleaved best-of-N: wall-clock ratios on a loaded machine flake
+    # badly if each engine is timed in one contiguous block.
+    lr_best = float("inf")
+    iglr_best = float("inf")
+    for _ in range(RUNS):
+        lr_best = min(lr_best, time_fn(lambda: lr.parse(list(tokens))).seconds)
+        iglr_best = min(
+            iglr_best, time_fn(lambda: iglr.parse(list(tokens))).seconds
+        )
+    lr_time = Timing(lr_best, 1)
+    iglr_time = Timing(iglr_best, 1)
+    ratio = iglr_time.per_run / lr_time.per_run
+
+    lr_result = lr.parse(list(tokens))
+    iglr_result = iglr.parse(list(tokens))
+
+    table = render_table(
+        "Section 5 (reproduced): batch parse, deterministic LR vs IGLR",
+        ["engine", "time/run (ms)", "shifts", "reductions", "nodes"],
+        [
+            (
+                "LR",
+                f"{lr_time.per_run * 1e3:.1f}",
+                lr_result.stats.shifts,
+                lr_result.stats.reductions,
+                lr_result.stats.nodes_created,
+            ),
+            (
+                "IGLR",
+                f"{iglr_time.per_run * 1e3:.1f}",
+                iglr_result.stats.shifts,
+                iglr_result.stats.reductions,
+                iglr_result.stats.nodes_created,
+            ),
+            ("IGLR/LR ratio", f"{ratio:.2f}", "", "", ""),
+        ],
+    )
+    report_sink("sec5_batch", table)
+
+    # Shape: both engines do identical grammar work (same shift/reduce
+    # counts) and IGLR's overhead is a modest constant factor.  The
+    # paper's C++ implementation saw 12% vs 15% of total time; in pure
+    # Python the GSS/cover bookkeeping costs ~4x the bare LR loop, still
+    # well within one order of magnitude.
+    assert lr_result.stats.shifts == iglr_result.stats.shifts
+    assert lr_result.stats.reductions == iglr_result.stats.reductions
+    assert ratio < 6.0
+
+    benchmark.pedantic(
+        lambda: iglr.parse(list(tokens)), rounds=3, iterations=1
+    )

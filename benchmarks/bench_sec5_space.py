@@ -1,0 +1,47 @@
+"""Experiment S5c — section 5: space cost of storing parse states.
+
+Paper: "Compared to sentential-form parsing for deterministic grammars,
+the space consumption of the abstract parse dag is approximately 5%
+higher, due to the need to record explicit states in the nodes."  We
+compute both byte totals from the per-node space model and report the
+per-program overhead.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_table
+from repro.dag import measure_space
+
+
+def test_sec5_state_storage_overhead(benchmark, table1_documents, report_sink):
+    rows = []
+    overheads = []
+    for name, (_spec, doc) in table1_documents.items():
+        report = measure_space(doc.tree)
+        overheads.append(report.state_overhead_percent)
+        rows.append(
+            (
+                name,
+                report.nodes,
+                report.bytes_without_states,
+                report.bytes_with_states,
+                f"{report.state_overhead_percent:.1f}",
+            )
+        )
+    table = render_table(
+        "Section 5 (reproduced): space overhead of per-node parse states",
+        ["program", "nodes", "bytes (sentential-form)", "bytes (state-matching)", "overhead %"],
+        rows,
+    )
+    report_sink("sec5_space", table)
+
+    # Shape: a small two-digit-at-most percentage, uniform across
+    # programs.  (The paper reports ~5% against nodes that also carry
+    # semantic attributes and presentation data; our bare nodes make the
+    # state word proportionally larger, ~20%.)
+    assert all(5.0 <= pct <= 35.0 for pct in overheads)
+    spread = max(overheads) - min(overheads)
+    assert spread < 5.0
+
+    _, doc = table1_documents["compress"]
+    benchmark(lambda: measure_space(doc.tree))

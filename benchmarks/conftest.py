@@ -1,0 +1,46 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark writes its rendered table/figure to
+``benchmarks/results/<name>.txt`` (and prints it) so EXPERIMENTS.md can
+quote the numbers.  Corpus construction is cached per session: parsing
+the synthetic Table 1 suite once is enough for all space experiments.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report_sink(results_dir):
+    def write(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def table1_documents():
+    """Parsed DAGs for the synthetic Table 1 suite (built once)."""
+    from repro import Document
+    from repro.langs.generators import TABLE1_SUITE, generate_suite_program
+    from repro.langs.minic import minic_language
+
+    lang = minic_language()
+    docs = {}
+    for spec in TABLE1_SUITE:
+        doc = Document(lang, generate_suite_program(spec, seed=42))
+        doc.parse()
+        docs[spec.name] = (spec, doc)
+    return docs

@@ -1,0 +1,13 @@
+%token NUM /[0-9]+/
+%token ID  /[a-zA-Z_][a-zA-Z0-9_]*/
+%ignore /[ \t\n]+/
+%left '+' '-'
+%left '*' '/'
+%start program
+
+program : stmt* ;
+stmt : ID '=' expr ';' @assign ;
+expr : expr '+' expr | expr '-' expr
+     | expr '*' expr | expr '/' expr
+     | '(' expr ')' | NUM | ID
+     ;

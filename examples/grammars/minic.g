@@ -1,0 +1,51 @@
+# MiniC: see src/repro/langs/minic.py for the annotated version.
+
+%token NUM /[0-9]+/
+%token ID  /[a-zA-Z_][a-zA-Z0-9_]*/
+%ignore /[ \t\r\n]+/
+%ignore /\/\*([^*]|\*+[^*\/])*\*+\//
+%right '='
+%left '+' '-'
+%left '*' '/'
+%start translation_unit
+
+translation_unit : external* ;
+external : item @plain_item
+         | func_def @func_item
+         ;
+func_def : type_spec ID '(' params ')' block ;
+params : param ** ',' ;
+param : type_spec declarator ;
+block : '{' item* '}' ;
+item : decl           @decl_item
+     | stmt           @stmt_item
+     | typedef_decl   @typedef_item
+     ;
+typedef_decl : 'typedef' type_spec declarator ';' ;
+type_spec : 'int' | 'char' | 'float' | type_name ;
+type_name : ID @type_use ;
+decl : type_spec init_declarator ';' @decl ;
+init_declarator : declarator | declarator '=' expr ;
+declarator : ID @decl_id
+           | '*' declarator
+           | '(' declarator ')'
+           ;
+stmt : expr ';'   @expr_stmt
+     | ';'
+     | 'return' expr ';'
+     | 'if' '(' expr ')' stmt
+     | 'while' '(' expr ')' stmt
+     | block
+     ;
+expr : expr '=' expr
+     | expr '+' expr | expr '-' expr
+     | expr '*' expr | expr '/' expr
+     | unary
+     ;
+unary : primary | '*' unary %prec '=' | '-' unary %prec '=' ;
+primary : ID @use_id
+        | NUM
+        | '(' expr ')'
+        | primary '(' args ')'  @call
+        ;
+args : expr ** ',' ;

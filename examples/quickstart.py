@@ -1,0 +1,60 @@
+"""Quickstart: define a language, parse, edit, reparse incrementally.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Document, Language
+from repro.dag import dump_tree
+
+# A small statement language.  Precedence declarations act as static
+# syntactic filters: the expression ambiguity never reaches the parser.
+LANGUAGE = Language.from_dsl(
+    r"""
+%token NUM /[0-9]+/
+%token ID  /[a-zA-Z_][a-zA-Z0-9_]*/
+%ignore /[ \t\n]+/
+%left '+' '-'
+%left '*' '/'
+%start program
+
+program : stmt* ;
+stmt : ID '=' expr ';' @assign ;
+expr : expr '+' expr | expr '-' expr
+     | expr '*' expr | expr '/' expr
+     | '(' expr ')' | NUM | ID
+     ;
+"""
+)
+
+
+def main() -> None:
+    doc = Document(LANGUAGE, "x = 1 + 2 * 3; y = x * x;")
+    report = doc.parse()
+    print("== initial parse ==")
+    print(dump_tree(doc.body, max_depth=4))
+    print(f"nodes created: {report.stats.nodes_created}")
+
+    # Replace the literal 2 by 42: the incremental parser reuses every
+    # subtree outside the edited expression.
+    offset = doc.text.index("2")
+    doc.edit(offset, 1, "42")
+    report = doc.parse()
+    print("\n== after editing '2' -> '42' ==")
+    print(f"text: {doc.text}")
+    print(
+        f"nodes created: {report.stats.nodes_created}, "
+        f"whole subtrees reused: {report.stats.subtree_shifts}"
+    )
+    assert doc.source_text() == doc.text
+
+    # A bad edit is recovered: the paper's history-based, non-correcting
+    # strategy reverts modifications that yield no valid parse.
+    doc.edit(0, 1, ";;;")
+    report = doc.parse()
+    print("\n== after a syntactically bad edit ==")
+    print(f"reverted edits: {len(report.reverted_edits)}")
+    print(f"text rolled back to: {doc.text}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""The paper's running example: the C typedef ambiguity, end to end.
+
+Reproduces Figures 1, 3 and 8: ``a (b);`` parses as *both* a declaration
+and a call; the abstract parse DAG keeps both interpretations behind a
+choice node; semantic analysis collects typedefs into binding contours
+and filters each choice by namespace; and removing the typedef later
+flips the decision *without reparsing the use site*.
+
+Run:  python examples/typedef_session.py
+"""
+
+from repro import Document
+from repro.dag import choice_points, dump_tree
+from repro.langs.minic import minic_language
+from repro.semantics import TypedefAnalyzer, is_rejected, resolved_view
+
+PROGRAM = """\
+typedef int a;
+int c;
+int foo() {
+  int i; int j;
+  a (b);
+  c (d);
+  i = 1;
+  j = 2;
+}
+"""
+
+
+def show_choices(doc: Document) -> None:
+    for n, choice in enumerate(choice_points(doc.tree)):
+        terminals = " ".join(t.text for t in choice.kids[0].iter_terminals())
+        print(f"  choice #{n} over: {terminals!r}")
+        for alt in choice.alternatives:
+            tag = alt.production.tags[0] if alt.production.tags else "?"
+            status = "REJECTED" if is_rejected(alt) else "live"
+            print(f"    - {tag:10s} [{status}]")
+
+
+def main() -> None:
+    doc = Document(minic_language(), PROGRAM)
+    doc.parse()
+    print("== Figure 1: context-free analysis leaves two ambiguities ==")
+    show_choices(doc)
+
+    print("\n== Figure 8: semantic disambiguation ==")
+    analyzer = TypedefAnalyzer(doc)
+    report = analyzer.analyze()
+    for decision in report.decisions:
+        print(f"  {decision.name!r} resolved as {decision.resolved_as}")
+    show_choices(doc)
+
+    print("\n== resolved view of 'a (b);' ==")
+    choice = report.decisions[-1].choice
+    print(dump_tree(resolved_view(choice), max_depth=3))
+
+    print("\n== the user deletes the typedef ==")
+    offset = doc.text.index("typedef int a;")
+    doc.delete(offset, len("typedef int a;"))
+    doc.parse()
+    update = analyzer.update()
+    kind = "targeted refilter" if not update.full_pass else "full pass"
+    print(f"  reanalysis: {kind}, {update.sites_refiltered} site(s) re-decided")
+    for decision in update.decisions:
+        outcome = decision.resolved_as or "UNRESOLVED (error retained)"
+        print(f"  {decision.name!r} now: {outcome}")
+
+    print("\n== the user restores it ==")
+    doc.insert(offset, "typedef int a;")
+    doc.parse()
+    update = analyzer.update()
+    for decision in update.decisions:
+        print(f"  {decision.name!r} back to: {decision.resolved_as}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro: incremental analysis of real programming languages.
+
+A faithful reimplementation of Wagner & Graham, *Incremental Analysis of
+Real Programming Languages* (PLDI 1997): abstract parse DAGs with
+explicit ambiguity, incremental GLR parsing with subtree reuse and
+dynamic lookahead tracking, plus the disambiguation framework (static
+filters, dynamic syntactic filters, semantic filters for the C/C++
+typedef problem).
+
+Quick start::
+
+    from repro import Language, Document
+
+    lang = Language.from_dsl('''
+        %token NUM /[0-9]+/
+        %left '+'
+        %left '*'
+        e : e '+' e | e '*' e | NUM ;
+    ''')
+    doc = Document(lang, "1+2*3")
+    doc.parse()
+    doc.edit(2, 1, "4")   # replace "2" by "4"
+    doc.parse()           # incremental reparse
+"""
+
+from .language import Language
+from .versioned.document import AnalysisReport, Document, Edit
+
+__all__ = ["AnalysisReport", "Document", "Edit", "Language"]
+
+__version__ = "1.0.0"

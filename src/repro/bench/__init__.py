@@ -1,0 +1,25 @@
+"""Benchmark harness: measurement, workloads, and report rendering."""
+
+from .measure import Timing, fit_loglinear, fit_powerlaw, parse_work, time_fn
+from .reporting import bucketize, render_histogram, render_table
+from .workloads import (
+    TokenEdit,
+    apply_and_cancel,
+    numeric_token_sites,
+    self_cancelling_token_edits,
+)
+
+__all__ = [
+    "Timing",
+    "TokenEdit",
+    "apply_and_cancel",
+    "bucketize",
+    "fit_loglinear",
+    "fit_powerlaw",
+    "numeric_token_sites",
+    "parse_work",
+    "render_histogram",
+    "render_table",
+    "self_cancelling_token_edits",
+    "time_fn",
+]

@@ -1,0 +1,70 @@
+"""Measurement helpers for the reproduction benchmarks."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class Timing:
+    """Wall-clock timing of repeated runs."""
+
+    seconds: float
+    runs: int
+
+    @property
+    def per_run(self) -> float:
+        return self.seconds / max(self.runs, 1)
+
+
+def time_fn(fn: Callable[[], object], runs: int = 1) -> Timing:
+    """Time ``fn`` over ``runs`` invocations (no GC fiddling: the
+    benchmarks compare like against like)."""
+    start = time.perf_counter()
+    for _ in range(runs):
+        fn()
+    return Timing(time.perf_counter() - start, runs)
+
+
+def parse_work(stats) -> int:
+    """A machine-independent work metric for a parse.
+
+    Wall-clock in Python is noisy and dominated by interpreter overhead;
+    the paper's asymptotic claims (section 3.4) are about the *amount of
+    parsing work*, which we count directly: every shift, reduction and
+    lookahead decomposition.
+    """
+    return stats.shifts + stats.reductions + stats.breakdowns
+
+
+def fit_loglinear(xs: list[float], ys: list[float]) -> tuple[float, float]:
+    """Least-squares fit of ``y = a + b*log2(x)``; returns (a, b)."""
+    n = len(xs)
+    lx = [math.log2(x) for x in xs]
+    mean_x = sum(lx) / n
+    mean_y = sum(ys) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ys))
+    var = sum((a - mean_x) ** 2 for a in lx)
+    slope = cov / var if var else 0.0
+    return mean_y - slope * mean_x, slope
+
+
+def fit_powerlaw(xs: list[float], ys: list[float]) -> float:
+    """Exponent k of the best fit ``y ~ x^k`` (log-log regression).
+
+    Near 0: constant/logarithmic growth.  Near 1: linear growth.
+    """
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        return 0.0
+    lx = [math.log(x) for x, _ in pairs]
+    ly = [math.log(y) for _, y in pairs]
+    n = len(pairs)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    var = sum((a - mean_x) ** 2 for a in lx)
+    return cov / var if var else 0.0

@@ -1,0 +1,66 @@
+"""Plain-text tables and histograms for benchmark output.
+
+Each benchmark prints the rows/series the paper reports, in a format
+close to the original table or figure, so EXPERIMENTS.md can be filled
+in by reading the benchmark logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """A fixed-width table with a title rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_histogram(
+    title: str,
+    buckets: Sequence[tuple[str, int]],
+    width: int = 50,
+) -> str:
+    """An ASCII histogram (Figure 4 style)."""
+    peak = max((count for _, count in buckets), default=1) or 1
+    label_width = max((len(label) for label, _ in buckets), default=0)
+    lines = [title, "=" * len(title)]
+    for label, count in buckets:
+        bar = "#" * max(1 if count else 0, round(count / peak * width))
+        lines.append(f"{label.rjust(label_width)} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def bucketize(
+    values: Sequence[float], edges: Sequence[float]
+) -> list[tuple[str, int]]:
+    """Group values into labelled half-open buckets ``[e_i, e_{i+1})``."""
+    buckets: list[tuple[str, int]] = []
+    for i in range(len(edges) - 1):
+        lo, hi = edges[i], edges[i + 1]
+        count = sum(1 for v in values if lo <= v < hi)
+        buckets.append((f"{lo:.2f}-{hi:.2f}", count))
+    overflow = sum(1 for v in values if v >= edges[-1])
+    if overflow:
+        buckets.append((f">={edges[-1]:.2f}", overflow))
+    return buckets

@@ -1,0 +1,62 @@
+"""Edit-script workloads for the incremental experiments.
+
+The paper's incremental measurement protocol (section 5) applies
+"self-cancelling modifications to individual tokens, parsing after each
+such change"; these helpers build such scripts deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..versioned.document import Document
+
+
+@dataclass(frozen=True)
+class TokenEdit:
+    """Replace one token's text at a given offset."""
+
+    offset: int
+    length: int
+    replacement: str
+
+
+def numeric_token_sites(doc: Document) -> list[tuple[int, int]]:
+    """(offset, length) of every NUM token in the document."""
+    sites: list[tuple[int, int]] = []
+    pos = 0
+    for token in doc.tokens:
+        if token.type == "NUM":
+            sites.append((pos + len(token.trivia), len(token.text)))
+        pos += token.width
+    return sites
+
+
+def self_cancelling_token_edits(
+    doc: Document, count: int, seed: int = 0
+) -> list[TokenEdit]:
+    """Random single-token replacements over NUM tokens.
+
+    The caller applies each edit, reparses, then applies the inverse and
+    reparses again, leaving the document as it started -- the paper's
+    protocol, which keeps every measurement over the same tree.
+    """
+    rng = random.Random(seed)
+    sites = numeric_token_sites(doc)
+    if not sites:
+        raise ValueError("document has no NUM tokens to edit")
+    edits = []
+    for _ in range(count):
+        offset, length = sites[rng.randrange(len(sites))]
+        edits.append(TokenEdit(offset, length, str(rng.randrange(100, 999))))
+    return edits
+
+
+def apply_and_cancel(doc: Document, edit: TokenEdit) -> None:
+    """One self-cancelling modification cycle: edit, parse, undo, parse."""
+    original = doc.text[edit.offset : edit.offset + edit.length]
+    doc.edit(edit.offset, edit.length, edit.replacement)
+    doc.parse()
+    doc.edit(edit.offset, len(edit.replacement), original)
+    doc.parse()

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``grammar LANG.g``            — table statistics and conflict report
+* ``tokens LANG.g FILE``        — dump the token stream
+* ``parse LANG.g FILE``         — parse; print stats, ambiguities, tree
+* ``edit LANG.g FILE EDITS...`` — parse, apply edits incrementally,
+  reparse after each, print per-edit work (an editor session in a can);
+  each edit is ``OFFSET:LENGTH:TEXT`` (TEXT may be empty for deletion).
+
+``LANG.g`` is a grammar-DSL description (see `repro.grammar.dsl`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .dag.traversal import dump_tree
+from .language import Language
+from .tables.diagnostics import conflict_report, table_summary
+from .versioned.document import Document
+
+
+def _load_language(path: str, method: str) -> Language:
+    with open(path, encoding="utf-8") as handle:
+        return Language.from_dsl(handle.read(), method=method)
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_grammar(args: argparse.Namespace) -> int:
+    language = _load_language(args.grammar, args.method)
+    print(table_summary(language.table))
+    print()
+    print(conflict_report(language.table))
+    return 0
+
+
+def cmd_tokens(args: argparse.Namespace) -> int:
+    language = _load_language(args.grammar, args.method)
+    for token in language.lexer.lex(_read(args.file)):
+        trivia = f" (after {token.trivia!r})" if token.trivia else ""
+        print(f"{token.type:16s} {token.text!r}{trivia}")
+    return 0
+
+
+def cmd_parse(args: argparse.Namespace) -> int:
+    language = _load_language(args.grammar, args.method)
+    document = Document(
+        language,
+        _read(args.file),
+        balanced_sequences=args.balanced,
+    )
+    report = document.parse(recover=False)
+    stats = report.stats
+    print(
+        f"parsed: {stats.shifts} shifts, {stats.reductions} reductions, "
+        f"{stats.nodes_created} nodes"
+    )
+    print(f"ambiguous regions: {report.ambiguous_regions}")
+    if args.tree:
+        print(dump_tree(document.body, max_depth=args.max_depth))
+    return 0
+
+
+def _parse_edit(spec: str) -> tuple[int, int, str]:
+    offset, length, *rest = spec.split(":", 2)
+    text = rest[0] if rest else ""
+    return int(offset), int(length), text
+
+
+def cmd_edit(args: argparse.Namespace) -> int:
+    language = _load_language(args.grammar, args.method)
+    document = Document(
+        language,
+        _read(args.file),
+        balanced_sequences=args.balanced,
+    )
+    report = document.parse()
+    print(
+        f"initial parse: {report.stats.shifts + report.stats.reductions} work"
+    )
+    for spec in args.edits:
+        offset, length, text = _parse_edit(spec)
+        document.edit(offset, length, text)
+        report = document.parse()
+        work = (
+            report.stats.shifts
+            + report.stats.reductions
+            + report.stats.breakdowns
+        )
+        status = "" if report.fully_incorporated else "  [edits deferred]"
+        print(
+            f"edit {spec!r}: work={work} "
+            f"reused={report.stats.subtree_shifts}{status}"
+        )
+    if args.tree:
+        print(dump_tree(document.body, max_depth=args.max_depth))
+    print(f"final text: {document.text!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Incremental analysis of real programming languages "
+        "(Wagner & Graham, PLDI 1997)",
+    )
+    parser.add_argument(
+        "--method",
+        choices=("lalr", "slr"),
+        default="lalr",
+        help="LR table construction method",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_grammar = sub.add_parser("grammar", help="table stats and conflicts")
+    p_grammar.add_argument("grammar")
+    p_grammar.set_defaults(func=cmd_grammar)
+
+    p_tokens = sub.add_parser("tokens", help="dump the token stream")
+    p_tokens.add_argument("grammar")
+    p_tokens.add_argument("file")
+    p_tokens.set_defaults(func=cmd_tokens)
+
+    p_parse = sub.add_parser("parse", help="parse a file")
+    p_parse.add_argument("grammar")
+    p_parse.add_argument("file")
+    p_parse.add_argument("--tree", action="store_true")
+    p_parse.add_argument("--max-depth", type=int, default=None)
+    p_parse.add_argument("--balanced", action="store_true")
+    p_parse.set_defaults(func=cmd_parse)
+
+    p_edit = sub.add_parser("edit", help="incremental edit session")
+    p_edit.add_argument("grammar")
+    p_edit.add_argument("file")
+    p_edit.add_argument(
+        "edits", nargs="+", metavar="OFFSET:LENGTH:TEXT"
+    )
+    p_edit.add_argument("--tree", action="store_true")
+    p_edit.add_argument("--max-depth", type=int, default=None)
+    p_edit.add_argument("--balanced", action="store_true")
+    p_edit.set_defaults(func=cmd_edit)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

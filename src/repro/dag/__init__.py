@@ -1,0 +1,59 @@
+"""The abstract parse DAG: nodes, traversal, and space metrics."""
+
+from .metrics import (
+    SpaceReport,
+    ambiguity_overhead_percent,
+    measure_disambiguated,
+    measure_space,
+)
+from .nodes import (
+    NO_STATE,
+    Node,
+    ProductionNode,
+    SymbolNode,
+    TerminalNode,
+    count_nodes,
+)
+from .sequences import (
+    SequenceNode,
+    SequencePart,
+    parts_created,
+    split_for_breakdown,
+)
+from .traversal import (
+    ancestors_ending_at,
+    choice_points,
+    dump_tree,
+    first_terminal,
+    last_terminal,
+    next_terminal,
+    previous_terminal,
+    unparse,
+    yield_tokens,
+)
+
+__all__ = [
+    "NO_STATE",
+    "Node",
+    "ProductionNode",
+    "SequenceNode",
+    "SequencePart",
+    "SpaceReport",
+    "SymbolNode",
+    "TerminalNode",
+    "parts_created",
+    "split_for_breakdown",
+    "ambiguity_overhead_percent",
+    "ancestors_ending_at",
+    "choice_points",
+    "count_nodes",
+    "dump_tree",
+    "first_terminal",
+    "last_terminal",
+    "measure_disambiguated",
+    "measure_space",
+    "next_terminal",
+    "previous_terminal",
+    "unparse",
+    "yield_tokens",
+]

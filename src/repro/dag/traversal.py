@@ -1,0 +1,194 @@
+"""Tree navigation helpers over the abstract parse DAG.
+
+These implement the "previous version" navigation the incremental parser
+needs (paper Appendix A): walking the yield of the last parsed tree,
+finding the terminal that precedes or follows a node, and reconstructing
+source text.  All functions treat choice points by following their first
+alternative, which is safe because every alternative of a symbol node has
+the same terminal yield.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .nodes import Node, SymbolNode, TerminalNode
+
+
+def yield_tokens(root: Node) -> list:
+    """The tokens of a subtree's yield, left to right."""
+    return [t.token for t in root.iter_terminals()]
+
+
+def unparse(root: Node) -> str:
+    """Reconstruct exact source text (trivia included) from a subtree."""
+    return "".join(
+        t.token.trivia + t.token.text for t in root.iter_terminals()
+    )
+
+
+def first_terminal(node: Node) -> TerminalNode | None:
+    """Leftmost terminal of a subtree, or None for a null yield."""
+    for term in node.iter_terminals():
+        return term
+    return None
+
+
+def last_terminal(node: Node) -> TerminalNode | None:
+    """Rightmost terminal of a subtree, or None for a null yield."""
+    current = node
+    while not current.is_terminal:
+        kids = (
+            (current.kids[0],) if current.is_symbol_node else current.kids
+        )
+        for kid in reversed(kids):
+            if first_terminal(kid) is not None:
+                current = kid
+                break
+        else:
+            return None
+    return current  # type: ignore[return-value]
+
+
+def _child_index(parent: Node, node: Node) -> int:
+    for i, kid in enumerate(parent.kids):
+        if kid is node:
+            return i
+    raise ValueError("node is not a child of its recorded parent")
+
+
+def _last_terminal_filtered(
+    node: Node, skip: Callable[[TerminalNode], bool]
+) -> TerminalNode | None:
+    """Rightmost non-skipped terminal of a subtree, or None."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_terminal:
+            if not skip(current):  # type: ignore[arg-type]
+                return current  # type: ignore[return-value]
+            continue
+        kids = (current.kids[0],) if current.is_symbol_node else current.kids
+        stack.extend(kids)  # natural order: rightmost popped first
+    return None
+
+
+def _first_terminal_filtered(
+    node: Node, skip: Callable[[TerminalNode], bool]
+) -> TerminalNode | None:
+    """Leftmost non-skipped terminal of a subtree, or None."""
+    for term in node.iter_terminals():
+        if not skip(term):
+            return term
+    return None
+
+
+def previous_terminal(
+    node: Node, skip: Callable[[TerminalNode], bool] = lambda t: False
+) -> TerminalNode | None:
+    """The terminal immediately preceding ``node``'s yield, via parents.
+
+    ``skip`` filters out terminals that should be treated as absent
+    (e.g. terminals deleted by pending edits).  Returns None at the start
+    of the tree.
+    """
+    current = node
+    while current.parent is not None:
+        parent = current.parent
+        index = _child_index(parent, current)
+        if not parent.is_symbol_node:
+            for sibling in reversed(parent.kids[:index]):
+                found = _last_terminal_filtered(sibling, skip)
+                if found is not None:
+                    return found
+        current = parent
+    return None
+
+
+def next_terminal(
+    node: Node, skip: Callable[[TerminalNode], bool] = lambda t: False
+) -> TerminalNode | None:
+    """The terminal immediately following ``node``'s yield, via parents."""
+    current = node
+    while current.parent is not None:
+        parent = current.parent
+        index = _child_index(parent, current)
+        if not parent.is_symbol_node:
+            for sibling in parent.kids[index + 1 :]:
+                found = _first_terminal_filtered(sibling, skip)
+                if found is not None:
+                    return found
+        current = parent
+    return None
+
+
+def ancestors_ending_at(terminal: TerminalNode) -> Iterator[Node]:
+    """Ancestors whose yield *ends* with ``terminal``.
+
+    These are exactly the nodes whose construction consumed the terminal
+    *after* ``terminal`` as implicit lookahead; when that following
+    terminal changes, every node this yields must be invalidated (the
+    right-context part of process_modifications_to_parse_dag).
+    """
+    node: Node = terminal
+    parent = node.parent
+    while parent is not None:
+        if parent.is_symbol_node:
+            # An alternative spans its choice node's whole yield, so the
+            # choice node ends wherever the alternative ends.
+            yield parent
+            node = parent
+            parent = node.parent
+            continue
+        kids = parent.kids
+        # The node must be the last child with a non-null yield.
+        index = _child_index(parent, node)
+        trailing = kids[index + 1 :]
+        if any(first_terminal(k) is not None for k in trailing):
+            return
+        yield parent
+        node = parent
+        parent = node.parent
+
+
+def choice_points(root: Node) -> list[SymbolNode]:
+    """All *live* choice nodes reachable from ``root``.
+
+    A symbol node collapsed to a single alternative by a syntactic
+    filter no longer represents a choice and is skipped.
+    """
+    found: list[SymbolNode] = []
+    seen: set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if node.is_symbol_node and len(node.kids) > 1:
+            found.append(node)  # type: ignore[arg-type]
+        stack.extend(node.kids)
+    return found
+
+
+def dump_tree(root: Node, max_depth: int | None = None) -> str:
+    """Indented listing of a subtree (debugging and examples)."""
+    lines: list[str] = []
+
+    def visit(node: Node, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        indent = "  " * depth
+        if node.is_terminal:
+            lines.append(f"{indent}{node.symbol} {node.text!r}")  # type: ignore[attr-defined]
+        elif node.is_symbol_node:
+            lines.append(f"{indent}<choice {node.symbol}>")
+            for kid in node.kids:
+                visit(kid, depth + 1)
+        else:
+            lines.append(f"{indent}{node.symbol}")
+            for kid in node.kids:
+                visit(kid, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Grammar model: CFGs, regular right parts, analyses, and the grammar DSL."""
+
+from .analysis import GrammarAnalysis
+from .cfg import (
+    EOF,
+    EPSILON,
+    START,
+    Assoc,
+    Grammar,
+    GrammarError,
+    PrecedenceLevel,
+    Production,
+    dump_grammar,
+)
+from .dsl import DslError, GrammarSpec, parse_grammar, parse_grammar_spec
+from .ebnf import (
+    Alt,
+    ExtendedAlternative,
+    ExtendedRule,
+    Opt,
+    Plus,
+    Seq,
+    Star,
+    Sym,
+    expand_extended_rules,
+)
+
+__all__ = [
+    "EOF",
+    "EPSILON",
+    "START",
+    "Assoc",
+    "Grammar",
+    "GrammarError",
+    "GrammarAnalysis",
+    "PrecedenceLevel",
+    "Production",
+    "dump_grammar",
+    "DslError",
+    "GrammarSpec",
+    "parse_grammar",
+    "parse_grammar_spec",
+    "Alt",
+    "ExtendedAlternative",
+    "ExtendedRule",
+    "Opt",
+    "Plus",
+    "Seq",
+    "Star",
+    "Sym",
+    "expand_extended_rules",
+]

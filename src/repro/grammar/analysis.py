@@ -1,0 +1,119 @@
+"""Classic grammar analyses: nullability, FIRST and FOLLOW sets.
+
+These feed both LALR table construction (`repro.tables`) and the
+nonterminal-lookahead reductions used by the incremental parsers
+(paper section 3.2: reductions indexed by a nonterminal are valid when
+every terminal in FIRST(N) selects the same action and N is not nullable).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .cfg import EOF, Grammar
+
+
+class GrammarAnalysis:
+    """Nullable / FIRST / FOLLOW computed by fixpoint iteration.
+
+    The object is immutable after construction; all sets are exposed as
+    frozensets keyed by symbol name.
+    """
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+        self.nullable: frozenset[str] = self._compute_nullable()
+        self.first: dict[str, frozenset[str]] = self._compute_first()
+        self.follow: dict[str, frozenset[str]] = self._compute_follow()
+
+    # -- nullability -------------------------------------------------------
+
+    def _compute_nullable(self) -> frozenset[str]:
+        nullable: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for prod in self.grammar.productions:
+                if prod.lhs in nullable:
+                    continue
+                if all(sym in nullable for sym in prod.rhs):
+                    nullable.add(prod.lhs)
+                    changed = True
+        return frozenset(nullable)
+
+    def is_nullable(self, symbol: str) -> bool:
+        """True when the symbol derives the empty string."""
+        return symbol in self.nullable
+
+    def sequence_nullable(self, symbols: Iterable[str]) -> bool:
+        """True when every symbol in the sequence is nullable."""
+        return all(sym in self.nullable for sym in symbols)
+
+    # -- FIRST --------------------------------------------------------------
+
+    def _compute_first(self) -> dict[str, frozenset[str]]:
+        first: dict[str, set[str]] = {
+            t: {t} for t in self.grammar.terminals
+        }
+        for nt in self.grammar.nonterminals:
+            first[nt] = set()
+        changed = True
+        while changed:
+            changed = False
+            for prod in self.grammar.productions:
+                target = first[prod.lhs]
+                before = len(target)
+                for sym in prod.rhs:
+                    target |= first[sym]
+                    if sym not in self.nullable:
+                        break
+                if len(target) != before:
+                    changed = True
+        return {sym: frozenset(s) for sym, s in first.items()}
+
+    def first_of(self, symbol: str) -> frozenset[str]:
+        """FIRST of a single symbol."""
+        return self.first[symbol]
+
+    def first_of_sequence(
+        self, symbols: Iterable[str], tail: Iterable[str] = ()
+    ) -> frozenset[str]:
+        """FIRST of a symbol sequence, falling through to ``tail`` terminals
+        when the whole sequence is nullable."""
+        result: set[str] = set()
+        for sym in symbols:
+            result |= self.first[sym]
+            if sym not in self.nullable:
+                return frozenset(result)
+        result |= set(tail)
+        return frozenset(result)
+
+    # -- FOLLOW --------------------------------------------------------------
+
+    def _compute_follow(self) -> dict[str, frozenset[str]]:
+        follow: dict[str, set[str]] = {
+            nt: set() for nt in self.grammar.nonterminals
+        }
+        follow[self.grammar.start].add(EOF)
+        changed = True
+        while changed:
+            changed = False
+            for prod in self.grammar.productions:
+                trailer: set[str] = set(follow[prod.lhs])
+                for sym in reversed(prod.rhs):
+                    if sym in self.grammar.nonterminals:
+                        before = len(follow[sym])
+                        follow[sym] |= trailer
+                        if len(follow[sym]) != before:
+                            changed = True
+                        if sym in self.nullable:
+                            trailer = trailer | self.first[sym]
+                        else:
+                            trailer = set(self.first[sym])
+                    else:
+                        trailer = {sym}
+        return {nt: frozenset(s) for nt, s in follow.items()}
+
+    def follow_of(self, nonterminal: str) -> frozenset[str]:
+        """FOLLOW of a nonterminal (used by SLR tables and diagnostics)."""
+        return self.follow[nonterminal]

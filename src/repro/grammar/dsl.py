@@ -1,0 +1,363 @@
+"""A yacc-like textual grammar language with regular right parts.
+
+The DSL plays the role of the paper's language-description input (their
+modified bison): it declares tokens (with lexical patterns), precedence
+levels (static syntactic filters, section 4.1), the start symbol, and
+productions whose right-hand sides may use the EBNF operators ``*``,
+``+``, ``?``, grouping and separated repetition.
+
+Example::
+
+    %token NUM /[0-9]+/
+    %token ID  /[a-zA-Z_][a-zA-Z0-9_]*/
+    %ignore /[ \\t\\n]+/
+    %left '+' '-'
+    %left '*' '/'
+    %start program
+
+    program : stmt* ;
+    stmt    : expr ';'          @expr_stmt
+            | ID '=' expr ';'   @assign
+            ;
+    expr    : expr '+' expr | expr '-' expr
+            | expr '*' expr | expr '/' expr
+            | '(' expr ')' | NUM | ID
+            ;
+
+Quoted literals name themselves as terminals (the terminal for ``'+'`` is
+the string ``+``).  ``@name`` attaches a tag to the alternative, visible on
+the resulting :class:`~repro.grammar.cfg.Production` -- disambiguation
+filters use tags to identify alternatives.  ``item ** ','`` is a
+zero-or-more comma-separated list, ``item ++ ','`` one-or-more; both are
+associative sequences eligible for balanced representation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .cfg import Assoc, Grammar, GrammarError, PrecedenceLevel
+from .ebnf import (
+    Alt,
+    ExtendedAlternative,
+    ExtendedRule,
+    Opt,
+    Plus,
+    Rhs,
+    Seq,
+    Star,
+    Sym,
+    expand_extended_rules,
+)
+
+
+@dataclass
+class GrammarSpec:
+    """The result of parsing a grammar description.
+
+    Attributes:
+        grammar: the expanded plain CFG.
+        token_defs: ordered ``(name, pattern)`` pairs from ``%token``
+            declarations carrying a pattern.
+        keywords: ordered literal terminals (they lex as themselves, with
+            identifier-shaped literals taking priority over ``%token``
+            patterns, mirroring keyword handling in real lexers).
+        ignore_patterns: patterns from ``%ignore`` (whitespace, comments).
+    """
+
+    grammar: Grammar
+    token_defs: list[tuple[str, str]] = field(default_factory=list)
+    keywords: list[str] = field(default_factory=list)
+    ignore_patterns: list[str] = field(default_factory=list)
+
+
+class DslError(GrammarError):
+    """Raised on malformed grammar-DSL input, with line information."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<directive>%[a-z]+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<tag>@[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<literal>'(?:\\.|[^'\\])*')
+  | (?P<regex>/(?:\\.|[^/\\])+/)
+  | (?P<dstar>\*\*)
+  | (?P<dplus>\+\+)
+  | (?P<punct>[:|;()*+?])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Tok:
+    kind: str
+    value: str
+    line: int
+
+
+def _lex_dsl(text: str) -> list[_Tok]:
+    tokens: list[_Tok] = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DslError(f"unexpected character {text[pos]!r}", line)
+        line += text.count("\n", pos, match.end())
+        kind = match.lastgroup or ""
+        value = match.group()
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append(_Tok(kind, value, line))
+    tokens.append(_Tok("eof", "", line))
+    return tokens
+
+
+def _unquote(literal: str) -> str:
+    body = literal[1:-1]
+    return re.sub(r"\\(.)", r"\1", body)
+
+
+class _DslParser:
+    """Recursive-descent parser for the grammar DSL."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens = _lex_dsl(text)
+        self.pos = 0
+        self.token_defs: list[tuple[str, str]] = []
+        self.keywords: list[str] = []
+        self.ignore_patterns: list[str] = []
+        self.precedence: list[PrecedenceLevel] = []
+        self.rules: list[ExtendedRule] = []
+        self.start: str | None = None
+        self.declared_tokens: list[str] = []
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def cur(self) -> _Tok:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Tok:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: str | None = None) -> _Tok:
+        tok = self.cur
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = value if value is not None else kind
+            raise DslError(f"expected {want!r}, found {tok.value!r}", tok.line)
+        return self.advance()
+
+    def at_punct(self, value: str) -> bool:
+        return self.cur.kind == "punct" and self.cur.value == value
+
+    # -- top level ---------------------------------------------------------
+
+    def parse(self) -> GrammarSpec:
+        while self.cur.kind != "eof":
+            if self.cur.kind == "directive":
+                self._directive()
+            elif self.cur.kind == "ident":
+                self._rule()
+            else:
+                raise DslError(
+                    f"expected rule or directive, found {self.cur.value!r}",
+                    self.cur.line,
+                )
+        if not self.rules:
+            raise DslError("grammar has no rules", self.cur.line)
+        start = self.start or self.rules[0].lhs
+        lhss = {rule.lhs for rule in self.rules}
+        terminals = set(self.declared_tokens) | set(self.keywords)
+        referenced = self._referenced_symbols()
+        for sym in referenced:
+            if sym not in lhss and sym not in terminals:
+                terminals.add(sym)
+        grammar = expand_extended_rules(
+            self.rules, terminals, start, precedence=self.precedence
+        )
+        return GrammarSpec(
+            grammar=grammar,
+            token_defs=self.token_defs,
+            keywords=self.keywords,
+            ignore_patterns=self.ignore_patterns,
+        )
+
+    def _referenced_symbols(self) -> set[str]:
+        seen: set[str] = set()
+
+        def walk(expr: Rhs) -> None:
+            if isinstance(expr, Sym):
+                seen.add(expr.name)
+            elif isinstance(expr, Seq):
+                for item in expr.items:
+                    walk(item)
+            elif isinstance(expr, Alt):
+                for option in expr.options:
+                    walk(option)
+            elif isinstance(expr, Opt):
+                walk(expr.item)
+            elif isinstance(expr, (Star, Plus)):
+                walk(expr.item)
+                if expr.separator is not None:
+                    walk(expr.separator)
+
+        for rule in self.rules:
+            for alternative in rule.alternatives:
+                walk(alternative.rhs)
+        return seen
+
+    # -- directives ----------------------------------------------------------
+
+    def _directive(self) -> None:
+        tok = self.advance()
+        name = tok.value
+        if name == "%token":
+            ident = self.expect("ident")
+            self.declared_tokens.append(ident.value)
+            if self.cur.kind == "regex":
+                pattern = self.advance().value[1:-1].replace("\\/", "/")
+                self.token_defs.append((ident.value, pattern))
+        elif name == "%ignore":
+            pattern = self.expect("regex").value[1:-1].replace("\\/", "/")
+            self.ignore_patterns.append(pattern)
+        elif name in ("%left", "%right", "%nonassoc"):
+            assoc = Assoc(name[1:])
+            symbols: list[str] = []
+            while self.cur.kind in ("ident", "literal"):
+                # An identifier followed by ':' starts the next rule, not a
+                # precedence symbol (the DSL has no statement terminator).
+                nxt = self.tokens[self.pos + 1]
+                if self.cur.kind == "ident" and nxt.kind == "punct" and nxt.value == ":":
+                    break
+                symbols.append(self._terminal_name(self.advance()))
+            if not symbols:
+                raise DslError(f"{name} needs at least one symbol", tok.line)
+            self.precedence.append(
+                PrecedenceLevel(len(self.precedence) + 1, assoc, tuple(symbols))
+            )
+        elif name == "%start":
+            self.start = self.expect("ident").value
+        else:
+            raise DslError(f"unknown directive {name!r}", tok.line)
+
+    def _terminal_name(self, tok: _Tok) -> str:
+        if tok.kind == "literal":
+            text = _unquote(tok.value)
+            if text not in self.keywords:
+                self.keywords.append(text)
+            return text
+        return tok.value
+
+    # -- rules -----------------------------------------------------------------
+
+    def _rule(self) -> None:
+        lhs = self.expect("ident").value
+        self.expect("punct", ":")
+        rule = ExtendedRule(lhs)
+        rule.alternatives.append(self._alternative())
+        while self.at_punct("|"):
+            self.advance()
+            rule.alternatives.append(self._alternative())
+        self.expect("punct", ";")
+        self.rules.append(rule)
+
+    def _alternative(self) -> ExtendedAlternative:
+        items: list[Rhs] = []
+        while self._at_factor_start():
+            items.append(self._factor())
+        prec_symbol: str | None = None
+        tags: list[str] = []
+        while True:
+            if self.cur.kind == "directive" and self.cur.value == "%prec":
+                self.advance()
+                tok = self.advance()
+                if tok.kind not in ("ident", "literal"):
+                    raise DslError("%prec needs a terminal", tok.line)
+                prec_symbol = self._terminal_name(tok)
+            elif self.cur.kind == "tag":
+                tags.append(self.advance().value[1:])
+            else:
+                break
+        rhs: Rhs = Seq(tuple(items)) if len(items) != 1 else items[0]
+        return ExtendedAlternative(rhs, prec_symbol=prec_symbol, tags=tuple(tags))
+
+    def _at_factor_start(self) -> bool:
+        return (
+            self.cur.kind in ("ident", "literal")
+            or self.at_punct("(")
+        )
+
+    def _factor(self) -> Rhs:
+        primary = self._primary()
+        while True:
+            if self.at_punct("*"):
+                self.advance()
+                primary = Star(primary)
+            elif self.at_punct("+"):
+                self.advance()
+                primary = Plus(primary)
+            elif self.at_punct("?"):
+                self.advance()
+                primary = Opt(primary)
+            elif self.cur.kind == "dstar":
+                self.advance()
+                primary = Star(primary, separator=self._separator())
+            elif self.cur.kind == "dplus":
+                self.advance()
+                primary = Plus(primary, separator=self._separator())
+            else:
+                return primary
+
+    def _separator(self) -> Rhs:
+        tok = self.advance()
+        if tok.kind not in ("ident", "literal"):
+            raise DslError("separator must be a symbol or literal", tok.line)
+        return Sym(self._terminal_name(tok))
+
+    def _primary(self) -> Rhs:
+        tok = self.advance()
+        if tok.kind == "ident":
+            return Sym(tok.value)
+        if tok.kind == "literal":
+            return Sym(self._terminal_name(tok))
+        if tok.kind == "punct" and tok.value == "(":
+            options = [self._group_alternative()]
+            while self.at_punct("|"):
+                self.advance()
+                options.append(self._group_alternative())
+            self.expect("punct", ")")
+            if len(options) == 1:
+                return options[0]
+            return Alt(tuple(options))
+        raise DslError(f"unexpected {tok.value!r} in rule body", tok.line)
+
+    def _group_alternative(self) -> Rhs:
+        items: list[Rhs] = []
+        while self._at_factor_start():
+            items.append(self._factor())
+        if len(items) == 1:
+            return items[0]
+        return Seq(tuple(items))
+
+
+def parse_grammar_spec(text: str) -> GrammarSpec:
+    """Parse a grammar description into a :class:`GrammarSpec`."""
+    return _DslParser(text).parse()
+
+
+def parse_grammar(text: str) -> Grammar:
+    """Parse a grammar description, returning only the expanded CFG."""
+    return parse_grammar_spec(text).grammar

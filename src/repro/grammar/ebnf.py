@@ -1,0 +1,208 @@
+"""Regular right parts (EBNF operators) and their expansion to plain CFGs.
+
+The paper (section 3.4) uses an *extended* context-free grammar so language
+designers can declare associative sequences explicitly; the system is then
+free to represent such sequences as balanced binary trees, guaranteeing
+logarithmic access during incremental updates.
+
+This module provides the right-hand-side expression AST used by the grammar
+DSL (`repro.grammar.dsl`) and the lowering from extended productions to
+plain :class:`~repro.grammar.cfg.Production` objects.  Productions created
+for ``*`` and ``+`` operators are flagged ``is_sequence=True`` so that the
+DAG layer may rebalance the spines they generate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .cfg import Grammar, GrammarError, PrecedenceLevel, Production
+
+
+class Rhs:
+    """Base class for right-hand-side expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Sym(Rhs):
+    """A single terminal or nonterminal reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Seq(Rhs):
+    """Concatenation of sub-expressions."""
+
+    items: tuple[Rhs, ...]
+
+
+@dataclass(frozen=True)
+class Alt(Rhs):
+    """Alternation between sub-expressions (inside a group)."""
+
+    options: tuple[Rhs, ...]
+
+
+@dataclass(frozen=True)
+class Star(Rhs):
+    """Zero-or-more repetition: an associative sequence."""
+
+    item: Rhs
+    separator: Rhs | None = None
+
+
+@dataclass(frozen=True)
+class Plus(Rhs):
+    """One-or-more repetition: an associative sequence."""
+
+    item: Rhs
+    separator: Rhs | None = None
+
+
+@dataclass(frozen=True)
+class Opt(Rhs):
+    """Zero-or-one occurrence."""
+
+    item: Rhs
+
+
+@dataclass(frozen=True)
+class ExtendedAlternative:
+    """One alternative of an extended production, with its annotations."""
+
+    rhs: Rhs
+    prec_symbol: str | None = None
+    tags: tuple[str, ...] = ()
+
+
+@dataclass
+class ExtendedRule:
+    """A nonterminal and all its extended alternatives."""
+
+    lhs: str
+    alternatives: list[ExtendedAlternative] = field(default_factory=list)
+
+
+class _Expander:
+    """Lowers extended rules to plain productions.
+
+    Auxiliary nonterminals are named ``<lhs>@seq<N>`` / ``<lhs>@grp<N>`` /
+    ``<lhs>@opt<N>``; the ``@`` guarantees no collision with user symbols
+    (the DSL forbids ``@`` in identifiers).
+    """
+
+    def __init__(self, known_symbols: set[str]) -> None:
+        self.known = set(known_symbols)
+        self.user_productions: list[
+            tuple[str, tuple[str, ...], str | None, bool, tuple[str, ...]]
+        ] = []
+        self.aux_productions: list[
+            tuple[str, tuple[str, ...], str | None, bool, tuple[str, ...]]
+        ] = []
+        self._counter = 0
+
+    def fresh(self, lhs: str, kind: str) -> str:
+        self._counter += 1
+        name = f"{lhs}@{kind}{self._counter}"
+        self.known.add(name)
+        return name
+
+    def add(
+        self,
+        lhs: str,
+        rhs: Sequence[str],
+        prec: str | None = None,
+        is_sequence: bool = False,
+        tags: tuple[str, ...] = (),
+        user: bool = False,
+    ) -> None:
+        target = self.user_productions if user else self.aux_productions
+        target.append((lhs, tuple(rhs), prec, is_sequence, tags))
+
+    def flatten(self, lhs: str, expr: Rhs) -> list[str]:
+        """Reduce an expression to a flat symbol list, adding aux rules."""
+        if isinstance(expr, Sym):
+            return [expr.name]
+        if isinstance(expr, Seq):
+            out: list[str] = []
+            for item in expr.items:
+                out.extend(self.flatten(lhs, item))
+            return out
+        if isinstance(expr, Alt):
+            aux = self.fresh(lhs, "grp")
+            for option in expr.options:
+                self.add(aux, self.flatten(lhs, option))
+            return [aux]
+        if isinstance(expr, Opt):
+            aux = self.fresh(lhs, "opt")
+            self.add(aux, ())
+            self.add(aux, self.flatten(lhs, expr.item))
+            return [aux]
+        if isinstance(expr, (Star, Plus)):
+            return [self._sequence(lhs, expr)]
+        raise GrammarError(f"unknown rhs expression: {expr!r}")
+
+    def _sequence(self, lhs: str, expr: Star | Plus) -> str:
+        """Expand a repetition into left-recursive sequence productions.
+
+        ``X*``   ->  aux: <empty> | aux X
+        ``X+``   ->  aux: X | aux X
+        With a separator ``X* sep ,`` -> aux: <empty> | X | aux ',' X
+        (the empty alternative is omitted for ``+``).
+        """
+        element = self.flatten(lhs, expr.item)
+        separator = (
+            self.flatten(lhs, expr.separator) if expr.separator is not None else []
+        )
+        aux = self.fresh(lhs, "seq")
+        if isinstance(expr, Star):
+            self.add(aux, (), is_sequence=True)
+            if separator:
+                # A separated star needs a distinct non-empty spine so the
+                # separator never dangles: aux: eps | spine
+                spine = self.fresh(lhs, "seq")
+                self.add(spine, element, is_sequence=True)
+                self.add(spine, [spine, *separator, *element], is_sequence=True)
+                self.add(aux, [spine], is_sequence=True)
+            else:
+                self.add(aux, [aux, *element], is_sequence=True)
+        else:
+            self.add(aux, element, is_sequence=True)
+            self.add(aux, [aux, *separator, *element], is_sequence=True)
+        return aux
+
+
+def expand_extended_rules(
+    rules: Sequence[ExtendedRule],
+    terminals: set[str],
+    start: str,
+    precedence: Sequence[PrecedenceLevel] = (),
+) -> Grammar:
+    """Expand extended rules into a plain :class:`Grammar`.
+
+    Productions for the user's alternatives appear before auxiliary
+    sequence/group productions of the same rule, in declaration order, so
+    production indices are stable across runs.
+    """
+    known = terminals | {rule.lhs for rule in rules}
+    expander = _Expander(known)
+    for rule in rules:
+        for alternative in rule.alternatives:
+            rhs = expander.flatten(rule.lhs, alternative.rhs)
+            expander.add(
+                rule.lhs,
+                rhs,
+                prec=alternative.prec_symbol,
+                tags=alternative.tags,
+                user=True,
+            )
+    ordered = expander.user_productions + expander.aux_productions
+    productions = [
+        Production(i, lhs, rhs, prec_symbol=prec, is_sequence=seq, tags=tags)
+        for i, (lhs, rhs, prec, seq, tags) in enumerate(ordered)
+    ]
+    return Grammar(productions, terminals, start, precedence=precedence)

@@ -1,0 +1,34 @@
+"""Bundled languages: MiniC (typedef ambiguity), calculator, LR(2), and
+synthetic program generators standing in for the paper's benchmark suite."""
+
+from .minic import (
+    MINIC_GRAMMAR,
+    declared_name,
+    is_decl_alternative,
+    is_stmt_alternative,
+    is_typedef_choice,
+    leading_identifier,
+    minic_language,
+)
+from .minifortran import (
+    MINIFORTRAN_GRAMMAR,
+    FortranAnalyzer,
+    is_fortran_choice,
+    minifortran_language,
+    parse_minifortran,
+)
+
+__all__ = [
+    "FortranAnalyzer",
+    "MINIC_GRAMMAR",
+    "MINIFORTRAN_GRAMMAR",
+    "is_fortran_choice",
+    "minifortran_language",
+    "parse_minifortran",
+    "declared_name",
+    "is_decl_alternative",
+    "is_stmt_alternative",
+    "is_typedef_choice",
+    "leading_identifier",
+    "minic_language",
+]

@@ -1,0 +1,98 @@
+"""A calculator language: the deterministic workhorse for benchmarks.
+
+Statically filtered (precedence/associativity) so the table is
+conflict-free: every parser engine -- batch LR, incremental LR in both
+reuse disciplines, and IGLR -- accepts it, which is what the section 5
+batch/incremental comparisons need.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..language import Language
+
+CALC_GRAMMAR = r"""
+%token NUM /[0-9]+(\.[0-9]+)?/
+%token ID  /[a-zA-Z_][a-zA-Z0-9_]*/
+%ignore /[ \t\r\n]+/
+%ignore /#[^\n]*/
+%right '='
+%left '+' '-'
+%left '*' '/'
+%right NEG
+%start program
+
+program : stmt* ;
+stmt : ID '=' expr ';'   @assign
+     | 'print' expr ';'  @print
+     ;
+expr : expr '+' expr | expr '-' expr
+     | expr '*' expr | expr '/' expr
+     | '-' expr %prec NEG
+     | '(' expr ')'
+     | NUM | ID
+     ;
+"""
+
+
+@lru_cache(maxsize=None)
+def calc_language() -> Language:
+    """The compiled calculator language (deterministic LALR)."""
+    return Language.from_dsl(CALC_GRAMMAR)
+
+
+def evaluate(node, env: dict[str, float] | None = None) -> dict[str, float]:
+    """Interpret a parsed calculator program; returns the environment.
+
+    Exists so examples/tests can check that analyses see the same
+    structure an interpreter does.  ``print`` statements accumulate into
+    ``env['__prints__']``.
+    """
+    env = env if env is not None else {}
+    prints = env.setdefault("__prints__", [])
+
+    def eval_expr(n) -> float:
+        if n.is_symbol_node:
+            raise ValueError("ambiguous expression cannot be evaluated")
+        if n.is_terminal:
+            if n.symbol == "NUM":
+                return float(n.text)
+            if n.symbol == "ID":
+                return env.get(n.text, 0.0)
+            raise ValueError(f"unexpected terminal {n.symbol}")
+        rhs = n.production.rhs
+        kids = n.kids
+        if rhs == ("NUM",) or rhs == ("ID",):
+            return eval_expr(kids[0])
+        if rhs == ("(", "expr", ")"):
+            return eval_expr(kids[1])
+        if rhs == ("-", "expr"):
+            return -eval_expr(kids[1])
+        if len(rhs) == 3 and rhs[1] in "+-*/":
+            a, b = eval_expr(kids[0]), eval_expr(kids[2])
+            op = rhs[1]
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            return a / b if b else 0.0  # total division, like the tests
+        raise ValueError(f"unexpected expr production {rhs}")
+
+    def walk(n) -> None:
+        if n.is_terminal:
+            return
+        if not n.is_symbol_node and n.symbol == "stmt":
+            if "assign" in n.production.tags:
+                env[n.kids[0].text] = eval_expr(n.kids[2])
+                return
+            if "print" in n.production.tags:
+                prints.append(eval_expr(n.kids[1]))
+                return
+        for kid in n.kids:
+            walk(kid)
+
+    walk(node)
+    return env

@@ -1,0 +1,49 @@
+"""The paper's Figure 7 grammar: LR(2), parsed with LR(1) tables.
+
+``A -> B c | D e;  B -> U z;  D -> V z;  U -> x;  V -> x``
+
+On input ``x z c`` a single-lookahead table cannot decide between
+reducing ``U -> x`` and ``V -> x`` when it sees ``z``: the IGLR parser
+forks, carries both interpretations through ``z``, and collapses to a
+single parser at ``c``/``e``.  Nodes reduced while both parsers were
+active (U/V and B/D -- the black ellipses of Figure 7) are tagged with
+the non-deterministic state sentinel; the enclosing ``A`` node, reduced
+after the collapse, records a normal deterministic state.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..dag.nodes import NO_STATE, Node
+from ..language import Language
+
+LR2_GRAMMAR = """
+%start a
+a : b 'c' | d 'e' ;
+b : u 'z' ;
+d : v 'z' ;
+u : 'x' ;
+v : 'x' ;
+"""
+
+
+@lru_cache(maxsize=None)
+def lr2_language() -> Language:
+    """The compiled Figure 7 grammar (reduce/reduce conflict retained)."""
+    return Language.from_dsl(LR2_GRAMMAR)
+
+
+def lookahead_profile(root: Node) -> dict[str, bool]:
+    """Which nonterminals recorded extended (dynamic) lookahead.
+
+    Maps each nonterminal symbol in the tree to True when its node
+    carries :data:`NO_STATE` -- i.e. it was built while multiple parsers
+    were live and can only be reused by decomposition.  Reproduces the
+    annotation of Figure 7.
+    """
+    profile: dict[str, bool] = {}
+    for node in root.walk():
+        if not node.is_terminal and not node.is_symbol_node:
+            profile[node.symbol] = node.state == NO_STATE
+    return profile

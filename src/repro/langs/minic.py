@@ -1,0 +1,120 @@
+"""MiniC: a C subset exhibiting the paper's typedef ambiguity.
+
+The grammar deliberately contains the context-free ambiguity of Figure 1:
+inside a statement list, ``a (b);`` parses both as a *declaration*
+(type ``a``, parenthesized declarator ``b``) and as an *expression
+statement* (call of ``a`` with argument ``b``); likewise ``a * b;`` is
+either a pointer declaration or a multiplication.  Only binding
+information (is ``a`` a typedef name here?) resolves the choice, which is
+exactly the paper's motivating problem.
+
+The statically filterable expression ambiguity is removed the yacc way,
+with precedence declarations, so the only choice points reaching the DAG
+are the semantic ones.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..dag.nodes import Node, SymbolNode, TerminalNode
+from ..language import Language
+
+MINIC_GRAMMAR = r"""
+%token NUM /[0-9]+/
+%token ID  /[a-zA-Z_][a-zA-Z0-9_]*/
+%ignore /[ \t\r\n]+/
+%ignore /\/\*([^*]|\*+[^*\/])*\*+\//
+%right '='
+%left '+' '-'
+%left '*' '/'
+%start translation_unit
+
+translation_unit : external* ;
+external : item @plain_item
+         | func_def @func_item
+         ;
+func_def : type_spec ID '(' params ')' block ;
+params : param ** ',' ;
+param : type_spec declarator ;
+block : '{' item* '}' ;
+item : decl           @decl_item
+     | stmt           @stmt_item
+     | typedef_decl   @typedef_item
+     ;
+typedef_decl : 'typedef' type_spec declarator ';' ;
+type_spec : 'int' | 'char' | 'float' | type_name ;
+type_name : ID @type_use ;
+decl : type_spec init_declarator ';' @decl ;
+init_declarator : declarator | declarator '=' expr ;
+declarator : ID @decl_id
+           | '*' declarator
+           | '(' declarator ')'
+           ;
+stmt : expr ';'   @expr_stmt
+     | ';'
+     | 'return' expr ';'
+     | 'if' '(' expr ')' stmt
+     | 'while' '(' expr ')' stmt
+     | block
+     ;
+expr : expr '=' expr
+     | expr '+' expr | expr '-' expr
+     | expr '*' expr | expr '/' expr
+     | unary
+     ;
+unary : primary | '*' unary %prec '=' | '-' unary %prec '=' ;
+primary : ID @use_id
+        | NUM
+        | '(' expr ')'
+        | primary '(' args ')'  @call
+        ;
+args : expr ** ',' ;
+"""
+
+
+@lru_cache(maxsize=None)
+def minic_language() -> Language:
+    """The compiled MiniC language (cached; table construction is pure)."""
+    return Language.from_dsl(MINIC_GRAMMAR)
+
+
+# -- structure helpers used by semantic analysis and the tests ----------------
+
+
+def leading_identifier(node: Node) -> TerminalNode | None:
+    """The first ID terminal in a subtree's yield.
+
+    For the decl/expr choice points, this is the identifier whose
+    namespace decides the interpretation.
+    """
+    for term in node.iter_terminals():
+        if term.symbol == "ID":
+            return term
+    return None
+
+
+def declared_name(declarator: Node) -> TerminalNode | None:
+    """The ID bound by a (possibly nested) declarator."""
+    return leading_identifier(declarator)
+
+
+def is_decl_alternative(alternative: Node) -> bool:
+    from ..semantics.filters import production_tags
+
+    return "decl_item" in production_tags(alternative)
+
+
+def is_stmt_alternative(alternative: Node) -> bool:
+    from ..semantics.filters import production_tags
+
+    return "stmt_item" in production_tags(alternative)
+
+
+def is_typedef_choice(choice: SymbolNode) -> bool:
+    """True when the choice is a decl-vs-stmt ambiguity (Figure 1)."""
+    if choice.symbol != "item":
+        return False
+    has_decl = any(is_decl_alternative(a) for a in choice.alternatives)
+    has_stmt = any(is_stmt_alternative(a) for a in choice.alternatives)
+    return has_decl and has_stmt

@@ -1,0 +1,197 @@
+"""MiniFortran: the paper's *other* motivating language family.
+
+Section 1 names Fortran alongside C and C++: its context-free syntax
+also depends on non-local declarations.  The classic instance is
+
+    A(I) = X + 1
+
+which is an *array element assignment* when ``A`` was declared with a
+``dimension`` (array) declaration, but a *statement function definition*
+when it was not -- a different construct entirely, resolvable only with
+binding information, exactly like C's typedef problem.
+
+The grammar deliberately derives both readings (two productions with the
+same shape), so GLR parsing leaves a genuine choice node in the abstract
+parse DAG; :class:`FortranAnalyzer` is the semantic filter that selects
+one interpretation per site and retains the other, mirroring the MiniC
+typedef analyzer with a different binding rule.  That is the point of
+the exercise: the pipeline is language-independent, only the filter
+changes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..dag.nodes import Node, SymbolNode
+from ..dag.traversal import choice_points
+from ..language import Language
+from ..semantics.filters import production_tags, reset_choice, semantic_select
+from ..versioned.document import Document
+
+MINIFORTRAN_GRAMMAR = r"""
+%token EOL /\n/
+%token NUM /[0-9]+(\.[0-9]+)?/
+%token ID  /[a-zA-Z][a-zA-Z0-9]*/
+%ignore /[ \t\r]+/
+%ignore /![^\n]*/
+%left '+' '-'
+%left '*' '/'
+%start program
+
+program : line* ;
+line : stmt EOL ;
+stmt : 'dimension' ID '(' NUM ')'   @dimension
+     | 'real' ID                    @scalar_decl
+     | array_assign                 @array_stmt
+     | stmt_func                    @stmtfunc_stmt
+     | ID '=' expr                  @assign
+     | 'print' expr                 @print
+     |
+     ;
+array_assign : ID '(' ID ')' '=' expr ;
+stmt_func    : ID '(' ID ')' '=' expr ;
+expr : expr '+' expr | expr '-' expr
+     | expr '*' expr | expr '/' expr
+     | '(' expr ')'
+     | ID '(' expr ')'  @call_or_element
+     | NUM | ID
+     ;
+"""
+
+
+@lru_cache(maxsize=None)
+def minifortran_language() -> Language:
+    return Language.from_dsl(MINIFORTRAN_GRAMMAR)
+
+
+def line_terminated(text: str) -> str:
+    """Ensure the final line carries its newline (EOL) terminator."""
+    return text if text.endswith("\n") or not text else text + "\n"
+
+
+def parse_minifortran(text: str) -> Document:
+    """Parse MiniFortran source (newlines are the EOL tokens)."""
+    doc = Document(minifortran_language(), line_terminated(text))
+    doc.parse()
+    return doc
+
+
+def is_fortran_choice(choice: SymbolNode) -> bool:
+    """True for the array-assignment / statement-function ambiguity."""
+    if choice.symbol != "stmt":
+        return False
+    tags = set()
+    for alternative in choice.alternatives:
+        tags |= production_tags(alternative)
+    return "array_stmt" in tags and "stmtfunc_stmt" in tags
+
+
+def _is_array_alternative(alternative: Node) -> bool:
+    return "array_stmt" in production_tags(alternative)
+
+
+def _is_stmtfunc_alternative(alternative: Node) -> bool:
+    return "stmtfunc_stmt" in production_tags(alternative)
+
+
+class FortranAnalyzer:
+    """Binding-driven disambiguation of ``A(I) = e`` statements.
+
+    A two-stage pass in the Figure 8 mould: stage one collects
+    ``dimension`` declarations (the binding contour); stage two decides
+    every choice point by the leading name's array-ness, retaining the
+    rejected interpretation.  Decisions are indexed by name so
+    :meth:`update` re-decides only affected sites after an edit flips a
+    declaration -- the same reversibility story as the typedef analyzer.
+    """
+
+    def __init__(self, document: Document) -> None:
+        self.document = document
+        self._sites_by_name: dict[str, list[SymbolNode]] = {}
+        self._arrays: set[str] = set()
+
+    # -- full pass --------------------------------------------------------
+
+    def analyze(self) -> dict[str, list[str]]:
+        """Decide every choice; returns {resolution kind: [names]}."""
+        if self.document.body is None:
+            raise ValueError("document has not been parsed")
+        self._sites_by_name = {}
+        self._arrays = self._collect_arrays()
+        outcome: dict[str, list[str]] = {
+            "array_assignment": [],
+            "statement_function": [],
+            "unresolved": [],
+        }
+        for choice in choice_points(self.document.body):
+            if not is_fortran_choice(choice):
+                continue
+            name_term = next(
+                (
+                    t
+                    for t in choice.iter_terminals()
+                    if t.symbol == "ID"
+                ),
+                None,
+            )
+            if name_term is None:
+                outcome["unresolved"].append("?")
+                continue
+            name = name_term.text
+            self._sites_by_name.setdefault(name, []).append(choice)
+            outcome[self._decide(choice, name)].append(name)
+        return outcome
+
+    def _collect_arrays(self) -> set[str]:
+        from ..dag.nodes import ProductionNode
+
+        arrays: set[str] = set()
+        assert self.document.body is not None
+        for node in self.document.body.walk(into_alternatives=False):
+            if (
+                isinstance(node, ProductionNode)
+                and "dimension" in node.production.tags
+            ):
+                arrays.add(node.kids[1].text)
+        return arrays
+
+    def _decide(self, choice: SymbolNode, name: str) -> str:
+        if name in self._arrays:
+            semantic_select(
+                choice, _is_array_alternative, f"{name} is dimensioned"
+            )
+            return "array_assignment"
+        semantic_select(
+            choice, _is_stmtfunc_alternative, f"{name} is not dimensioned"
+        )
+        return "statement_function"
+
+    # -- incremental update --------------------------------------------------
+
+    def update(self) -> list[tuple[str, str]]:
+        """Re-decide sites whose array-ness flipped.
+
+        Sites are located via the recorded index (binding information),
+        not by re-walking the program; returns ``(name, new kind)``.
+        """
+        new_arrays = self._collect_arrays()
+        flipped = new_arrays ^ self._arrays
+        self._arrays = new_arrays
+        changed: list[tuple[str, str]] = []
+        for name in flipped:
+            for choice in self._sites_by_name.get(name, []):
+                if not self._still_in_tree(choice):
+                    continue
+                reset_choice(choice)
+                kind = self._decide(choice, name)
+                changed.append((name, kind))
+        return changed
+
+    def _still_in_tree(self, node: Node) -> bool:
+        current: Node | None = node
+        while current is not None:
+            if current is self.document.tree:
+                return True
+            current = current.parent
+        return False

@@ -1,0 +1,33 @@
+"""Lexing substrate: regex engine, DFA, batch and incremental lexers."""
+
+from .dfa import DFA, longest_match
+from .incremental import RelexResult, relex
+from .lexer import LexerSpec
+from .regex import NFA, RegexError, parse_regex
+from .tokens import (
+    BOS,
+    EOS,
+    ERROR_TOKEN,
+    LexError,
+    Token,
+    stream_text,
+    token_offsets,
+)
+
+__all__ = [
+    "BOS",
+    "DFA",
+    "EOS",
+    "ERROR_TOKEN",
+    "LexError",
+    "LexerSpec",
+    "NFA",
+    "RegexError",
+    "RelexResult",
+    "Token",
+    "longest_match",
+    "parse_regex",
+    "relex",
+    "stream_text",
+    "token_offsets",
+]

@@ -1,0 +1,139 @@
+"""Subset-construction DFA used by the batch and incremental lexers.
+
+The alphabet is not enumerated: each DFA state keeps the list of
+``(Lit, target)`` character-set edges from its constituent NFA states,
+partitioned during construction so that at most one edge matches any
+character.  For the small alphabets of programming-language lexers this
+is fast enough and keeps the machine easy to inspect in tests.
+"""
+
+from __future__ import annotations
+
+from .regex import NFA, Lit
+
+
+class DFA:
+    """A deterministic automaton with tagged accepting states.
+
+    ``accepts[s]`` is the (lowest, i.e. highest-priority) rule tag of a
+    final state.  ``step(state, ch)`` returns the next state or ``None``.
+    """
+
+    def __init__(self, nfa: NFA) -> None:
+        self._nfa = nfa
+        self.transitions: list[dict[str, int] | None] = []
+        self._edge_lists: list[list[tuple[Lit, int]]] = []
+        self.accepts: dict[int, int] = {}
+        self._subset_index: dict[frozenset[int], int] = {}
+        self._subsets: list[frozenset[int]] = []
+        self.start = self._intern(
+            nfa.epsilon_closure(frozenset([nfa.start]))
+        )
+        self._build()
+        self._trans_cache: list[dict[str, int | None]] = [
+            {} for _ in self._subsets
+        ]
+
+    def _intern(self, subset: frozenset[int]) -> int:
+        index = self._subset_index.get(subset)
+        if index is None:
+            index = len(self._subsets)
+            self._subset_index[subset] = index
+            self._subsets.append(subset)
+            edges: list[tuple[Lit, int]] = []
+            for s in subset:
+                edges.extend(self._nfa.transitions[s])
+            self._edge_lists.append(edges)
+            tags = [
+                self._nfa.accepts[s] for s in subset if s in self._nfa.accepts
+            ]
+            if tags:
+                self.accepts[index] = min(tags)
+        return index
+
+    def _build(self) -> None:
+        pos = 0
+        while pos < len(self._subsets):
+            edges = self._edge_lists[pos]
+            # Pre-intern targets for concrete (non-negated) characters so
+            # most steps are dictionary hits.
+            concrete: dict[str, set[int]] = {}
+            for lit, target in edges:
+                if not lit.negated:
+                    for ch in lit.chars:
+                        concrete.setdefault(ch, set()).add(target)
+            for ch, targets in concrete.items():
+                full = set(targets)
+                # Negated edges may also match this char.
+                for lit, target in edges:
+                    if lit.negated and lit.matches(ch):
+                        full.add(target)
+                self._intern(self._nfa.epsilon_closure(frozenset(full)))
+            pos += 1
+
+    # -- runtime -----------------------------------------------------------
+
+    def step(self, state: int, ch: str) -> int | None:
+        """The successor state on ``ch``, or None when stuck."""
+        cache = self._trans_cache[state]
+        if ch in cache:
+            return cache[ch]
+        targets = {
+            t for lit, t in self._edge_lists[state] if lit.matches(ch)
+        }
+        if targets:
+            result: int | None = self._intern(
+                self._nfa.epsilon_closure(frozenset(targets))
+            )
+            # _intern may have appended new states; grow the cache.
+            while len(self._trans_cache) < len(self._subsets):
+                self._trans_cache.append({})
+        else:
+            result = None
+        cache[ch] = result
+        return result
+
+    def accept_tag(self, state: int) -> int | None:
+        """Rule tag if the state is accepting, else None."""
+        return self.accepts.get(state)
+
+    @property
+    def n_states(self) -> int:
+        return len(self._subsets)
+
+
+def longest_match(dfa: DFA, text: str, start: int) -> tuple[int, int, int]:
+    """Run the DFA from ``start`` using the longest-match rule.
+
+    Returns ``(end, tag, read_end)`` where ``text[start:end]`` is the
+    longest accepted prefix with rule ``tag`` and ``read_end`` is one past
+    the last character *examined* (>= end: the lexer may look beyond the
+    accepted text before concluding the match cannot be extended).  When
+    no prefix is accepted, returns ``(start, -1, read_end)``.
+
+    The gap ``read_end - end`` is the token's *lexical lookahead*; the
+    incremental lexer must re-examine a token whenever an edit falls
+    inside ``[start, read_end)``.  A match that runs to the end of the
+    text counts end-of-input as one examined position (``read_end ==
+    len(text) + 1``), so an insertion at the very end correctly
+    invalidates the final token.
+    """
+    state = dfa.start
+    start_tag = dfa.accept_tag(state)
+    best_end = start
+    best_tag = start_tag if start_tag is not None else -1
+    pos = start
+    while pos < len(text):
+        nxt = dfa.step(state, text[pos])
+        if nxt is None:
+            break
+        pos += 1
+        state = nxt
+        tag = dfa.accept_tag(state)
+        if tag is not None:
+            best_end = pos
+            best_tag = tag
+    # pos is the index of the char whose step failed, or len(text) when the
+    # match ran off the end; either way position pos was examined.
+    read_end = pos + 1
+    return best_end, best_tag, read_end

@@ -1,0 +1,144 @@
+"""Incremental lexing with lookahead invalidation.
+
+Given the previous token stream and a single text edit, :func:`relex`
+recomputes only the tokens whose *read windows* intersect the edit, then
+re-synchronizes with the old stream at the first token boundary past the
+edit whose content is unchanged.  A token's read window covers its trivia,
+its text, and its lexical lookahead -- characters beyond the token that
+the DFA examined before settling on the longest match.  Because the DFA
+tokenizes purely as a function of the text suffix, identical suffixes
+guarantee identical tokens, which makes boundary re-synchronization sound.
+
+Unchanged tokens are returned as the *same objects*, so downstream
+consumers (the parse DAG) can detect unchanged terminals by identity.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from .lexer import LexerSpec
+from .tokens import EOS, Token, token_offsets
+
+
+@dataclass
+class RelexResult:
+    """Outcome of an incremental relex.
+
+    Attributes:
+        tokens: the full new token stream (ends with EOS).
+        changed_start: index into ``tokens`` of the first non-reused token.
+        changed_end: index one past the last non-reused token.
+        removed: old token objects no longer present in the stream.
+        scanned: how many tokens were actually re-scanned (work metric).
+    """
+
+    tokens: list[Token]
+    changed_start: int
+    changed_end: int
+    removed: list[Token] = field(default_factory=list)
+    scanned: int = 0
+
+    @property
+    def changed(self) -> list[Token]:
+        return self.tokens[self.changed_start : self.changed_end]
+
+
+def relex(
+    spec: LexerSpec,
+    old_tokens: list[Token],
+    new_text: str,
+    edit_offset: int,
+    removed_len: int,
+    inserted_len: int,
+) -> RelexResult:
+    """Incrementally retokenize after replacing ``removed_len`` characters
+    at ``edit_offset`` (old coordinates) with ``inserted_len`` new ones.
+
+    ``old_tokens`` must be a complete stream for the pre-edit text (ending
+    with EOS); ``new_text`` is the post-edit text.
+    """
+    if not old_tokens:
+        tokens = spec.lex(new_text)
+        return RelexResult(tokens, 0, len(tokens), scanned=len(tokens))
+
+    old_offsets = token_offsets(old_tokens)
+    delta = inserted_len - removed_len
+    edit_old_end = edit_offset + removed_len
+
+    # -- restart point: walk left over every token whose read window
+    #    touches the edit.
+    start_idx = bisect_right(old_offsets, edit_offset) - 1
+    if start_idx < 0:
+        start_idx = 0
+    while start_idx > 0:
+        prev = old_tokens[start_idx - 1]
+        read_end = old_offsets[start_idx - 1] + prev.width + prev.lookahead
+        if read_end > edit_offset:
+            start_idx -= 1
+        else:
+            break
+
+    # -- resync candidates: old token starts strictly past the edit.
+    resync: dict[int, int] = {}
+    for j in range(start_idx + 1, len(old_tokens)):
+        if old_offsets[j] >= edit_old_end:
+            resync[old_offsets[j] + delta] = j
+
+    # -- rescan.
+    middle: list[Token] = []
+    pos = old_offsets[start_idx]
+    tail_idx: int | None = None
+    while True:
+        j = resync.get(pos)
+        if j is not None and middle:
+            tail_idx = j
+            break
+        tok = spec.next_token(new_text, pos)
+        if tok is None:
+            tok = Token(EOS, "")
+        middle.append(tok)
+        pos += tok.width
+        if tok.type == EOS:
+            break
+
+    tail = old_tokens[tail_idx:] if tail_idx is not None else []
+    scanned = len(middle)
+
+    # -- maximize identity reuse at the seam: scanning may have reproduced
+    #    tokens identical to old ones (e.g. the restart token was left of
+    #    the edit, or the edit was content-neutral).
+    lo = 0
+    while (
+        lo < len(middle)
+        and start_idx + lo < (tail_idx if tail_idx is not None else len(old_tokens))
+        and middle[lo].same_content(old_tokens[start_idx + lo])
+    ):
+        middle[lo] = old_tokens[start_idx + lo]
+        lo += 1
+    hi = len(middle)
+    old_hi = tail_idx if tail_idx is not None else len(old_tokens)
+    while (
+        hi > lo
+        and old_hi > start_idx + lo
+        and middle[hi - 1].same_content(old_tokens[old_hi - 1])
+    ):
+        hi -= 1
+        old_hi -= 1
+        middle[hi] = old_tokens[old_hi]
+
+    tokens = old_tokens[:start_idx] + middle + tail
+    changed_start = start_idx + lo
+    changed_end = start_idx + hi
+    kept = set()
+    for tok in middle[:lo]:
+        kept.add(id(tok))
+    for tok in middle[hi:]:
+        kept.add(id(tok))
+    removed = [
+        tok
+        for tok in old_tokens[start_idx : tail_idx if tail_idx is not None else len(old_tokens)]
+        if id(tok) not in kept
+    ]
+    return RelexResult(tokens, changed_start, changed_end, removed, scanned)

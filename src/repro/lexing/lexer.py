@@ -1,0 +1,144 @@
+"""Lexer specification and the batch lexer.
+
+A :class:`LexerSpec` combines named token patterns, literal keywords, and
+ignore patterns into a single prioritized DFA:
+
+* keyword literals outrank named patterns (so ``typedef`` lexes as the
+  keyword, not as an identifier), except that a keyword fully covered by
+  a longer pattern match loses by the longest-match rule;
+* named patterns rank by declaration order;
+* ignore patterns produce trivia attached to the next token.
+
+The spec is usually built from a grammar DSL description via
+:func:`LexerSpec.from_grammar_spec`.
+"""
+
+from __future__ import annotations
+
+import re as _re
+
+from ..grammar.dsl import GrammarSpec
+from .dfa import DFA, longest_match
+from .regex import NFA, parse_regex
+from .tokens import EOS, ERROR_TOKEN, LexError, Token
+
+_IDENT_RE = _re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def _escape_literal(text: str) -> str:
+    """Turn a literal string into a regex matching exactly that string."""
+    special = set("\\()[]|*+?.")
+    return "".join("\\" + ch if ch in special else ch for ch in text)
+
+
+class LexerSpec:
+    """An ordered lexical specification compiled to one DFA.
+
+    Rules, in priority order (lower tag = higher priority):
+      1. keyword literals (longest keywords first, so ``<=`` beats ``<``),
+      2. named token patterns in declaration order,
+      3. ignore patterns.
+    """
+
+    def __init__(
+        self,
+        token_defs: list[tuple[str, str]],
+        keywords: list[str] = (),
+        ignore: list[str] = (),
+    ) -> None:
+        self.token_defs = list(token_defs)
+        self.keywords = sorted(set(keywords), key=len, reverse=True)
+        self.ignore = list(ignore)
+        self._rule_names: list[str] = []
+        self._ignore_tags: set[int] = set()
+        nfa = NFA()
+        for kw in self.keywords:
+            tag = len(self._rule_names)
+            self._rule_names.append(kw)
+            nfa.add_pattern(parse_regex(_escape_literal(kw)), tag)
+        for name, pattern in self.token_defs:
+            tag = len(self._rule_names)
+            self._rule_names.append(name)
+            nfa.add_pattern(parse_regex(pattern), tag)
+        for pattern in self.ignore:
+            tag = len(self._rule_names)
+            self._rule_names.append("$ignore")
+            self._ignore_tags.add(tag)
+            nfa.add_pattern(parse_regex(pattern), tag)
+        if not self._rule_names:
+            raise LexError("lexer spec has no rules", 0)
+        self.dfa = DFA(nfa)
+
+    @classmethod
+    def from_grammar_spec(cls, spec: GrammarSpec) -> "LexerSpec":
+        """Build the lexer for a grammar DSL description.
+
+        Default ignore: ASCII whitespace, when the description declares no
+        ``%ignore`` of its own.
+        """
+        ignore = spec.ignore_patterns or ["[ \\t\\r\\n]+"]
+        return cls(spec.token_defs, keywords=spec.keywords, ignore=ignore)
+
+    def rule_name(self, tag: int) -> str:
+        return self._rule_names[tag]
+
+    def is_ignore(self, tag: int) -> bool:
+        return tag in self._ignore_tags
+
+    # -- scanning ----------------------------------------------------------
+
+    def next_token(self, text: str, pos: int) -> Token | None:
+        """Scan one token (with leading trivia) starting at ``pos``.
+
+        Returns None at end of text.  Unrecognizable characters become
+        single-character ``$error`` tokens rather than raising, so editors
+        keep working on malformed input; use :meth:`lex` with
+        ``strict=True`` for the raising behaviour.
+        """
+        trivia_parts: list[str] = []
+        while pos < len(text):
+            end, tag, _ = longest_match(self.dfa, text, pos)
+            if tag >= 0 and self.is_ignore(tag) and end > pos:
+                trivia_parts.append(text[pos:end])
+                pos = end
+                continue
+            break
+        trivia = "".join(trivia_parts)
+        if pos >= len(text):
+            if trivia:
+                return Token(EOS, "", trivia=trivia)
+            return None
+        end, tag, read_end = longest_match(self.dfa, text, pos)
+        if tag < 0 or end == pos:
+            return Token(
+                ERROR_TOKEN, text[pos], trivia=trivia, lookahead=0
+            )
+        return Token(
+            self.rule_name(tag),
+            text[pos:end],
+            trivia=trivia,
+            lookahead=read_end - end,
+        )
+
+    def lex(self, text: str, strict: bool = False) -> list[Token]:
+        """Tokenize the whole text, ending with an EOS token.
+
+        The EOS token absorbs trailing trivia so that concatenating the
+        stream reproduces ``text`` exactly.
+        """
+        tokens: list[Token] = []
+        pos = 0
+        while True:
+            tok = self.next_token(text, pos)
+            if tok is None:
+                tokens.append(Token(EOS, ""))
+                return tokens
+            if tok.type == EOS:
+                tokens.append(tok)
+                return tokens
+            if tok.type == ERROR_TOKEN and strict:
+                raise LexError(
+                    f"cannot tokenize {tok.text!r}", pos + len(tok.trivia)
+                )
+            tokens.append(tok)
+            pos += tok.width

@@ -1,0 +1,301 @@
+"""A small regular-expression engine for token definitions.
+
+We build our own engine (rather than using :mod:`re`) because the
+incremental lexer needs *lookahead accounting*: for every token it must
+know exactly how many characters beyond the token's end the recognizer
+examined, so that a later text edit can invalidate precisely the tokens
+whose recognition depended on edited characters (paper Appendix A:
+"Add to T any terminal having lexical lookahead in some t in T").
+Running a Thompson NFA / subset-construction DFA ourselves makes that
+bookkeeping explicit and testable.
+
+Supported syntax: literals, ``.``, escapes (``\\n \\t \\r \\\\`` and any
+escaped punctuation), character classes ``[a-z0-9_]`` / negated
+``[^...]``, grouping ``( )``, alternation ``|``, and the postfix
+operators ``* + ?``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class RegexError(Exception):
+    """Raised for malformed patterns."""
+
+
+# -- AST ---------------------------------------------------------------------
+
+
+class RegexNode:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Lit(RegexNode):
+    """A single-character set, represented as a frozenset of chars or a
+    negated set (match anything not in ``chars``)."""
+
+    chars: frozenset[str]
+    negated: bool = False
+
+    def matches(self, ch: str) -> bool:
+        return (ch in self.chars) != self.negated
+
+
+@dataclass(frozen=True)
+class Concat(RegexNode):
+    parts: tuple[RegexNode, ...]
+
+
+@dataclass(frozen=True)
+class Alternate(RegexNode):
+    options: tuple[RegexNode, ...]
+
+
+@dataclass(frozen=True)
+class Repeat(RegexNode):
+    """``item*`` (min_count=0) or ``item+`` (min_count=1)."""
+
+    item: RegexNode
+    min_count: int
+
+
+@dataclass(frozen=True)
+class Optional(RegexNode):
+    item: RegexNode
+
+
+@dataclass(frozen=True)
+class Empty(RegexNode):
+    pass
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "f": "\f", "v": "\v", "0": "\0"}
+_CLASS_SHORTHAND = {
+    "d": "0123456789",
+    "w": "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_",
+    "s": " \t\n\r\f\v",
+}
+
+
+class _RegexParser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    def parse(self) -> RegexNode:
+        node = self._alternation()
+        if self.pos != len(self.pattern):
+            raise RegexError(
+                f"unexpected {self.pattern[self.pos]!r} at {self.pos}"
+            )
+        return node
+
+    def _peek(self) -> str | None:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def _alternation(self) -> RegexNode:
+        options = [self._concat()]
+        while self._peek() == "|":
+            self.pos += 1
+            options.append(self._concat())
+        if len(options) == 1:
+            return options[0]
+        return Alternate(tuple(options))
+
+    def _concat(self) -> RegexNode:
+        parts: list[RegexNode] = []
+        while True:
+            ch = self._peek()
+            if ch is None or ch in "|)":
+                break
+            parts.append(self._postfix())
+        if not parts:
+            return Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def _postfix(self) -> RegexNode:
+        node = self._primary()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self.pos += 1
+                node = Repeat(node, 0)
+            elif ch == "+":
+                self.pos += 1
+                node = Repeat(node, 1)
+            elif ch == "?":
+                self.pos += 1
+                node = Optional(node)
+            else:
+                return node
+
+    def _primary(self) -> RegexNode:
+        ch = self._peek()
+        if ch is None:
+            raise RegexError("unexpected end of pattern")
+        if ch == "(":
+            self.pos += 1
+            node = self._alternation()
+            if self._peek() != ")":
+                raise RegexError(f"unclosed group at {self.pos}")
+            self.pos += 1
+            return node
+        if ch == "[":
+            return self._char_class()
+        if ch == ".":
+            self.pos += 1
+            return Lit(frozenset("\n"), negated=True)
+        if ch == "\\":
+            return Lit(frozenset(self._escape()))
+        if ch in "*+?)|":
+            raise RegexError(f"misplaced {ch!r} at {self.pos}")
+        self.pos += 1
+        return Lit(frozenset(ch))
+
+    def _escape(self) -> str:
+        self.pos += 1  # consume backslash
+        ch = self._peek()
+        if ch is None:
+            raise RegexError("dangling backslash")
+        self.pos += 1
+        if ch in _CLASS_SHORTHAND:
+            return _CLASS_SHORTHAND[ch]
+        return _ESCAPES.get(ch, ch)
+
+    def _char_class(self) -> Lit:
+        self.pos += 1  # consume '['
+        negated = False
+        if self._peek() == "^":
+            negated = True
+            self.pos += 1
+        chars: set[str] = set()
+        first = True
+        while True:
+            ch = self._peek()
+            if ch is None:
+                raise RegexError("unclosed character class")
+            if ch == "]" and not first:
+                self.pos += 1
+                return Lit(frozenset(chars), negated=negated)
+            first = False
+            if ch == "\\":
+                chars.update(self._escape())
+                continue
+            self.pos += 1
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) and \
+                    self.pattern[self.pos + 1] != "]":
+                self.pos += 1
+                hi = self._peek()
+                if hi == "\\":
+                    hi_chars = self._escape()
+                    if len(hi_chars) != 1:
+                        raise RegexError("bad range endpoint")
+                    hi = hi_chars
+                else:
+                    self.pos += 1
+                if hi is None or ord(hi) < ord(ch):
+                    raise RegexError(f"bad range {ch}-{hi}")
+                chars.update(chr(c) for c in range(ord(ch), ord(hi) + 1))
+            else:
+                chars.add(ch)
+
+
+def parse_regex(pattern: str) -> RegexNode:
+    """Parse a pattern into a regex AST."""
+    return _RegexParser(pattern).parse()
+
+
+# -- Thompson NFA --------------------------------------------------------------
+
+
+class NFA:
+    """A Thompson-construction NFA.
+
+    States are integers.  ``transitions[s]`` is a list of ``(Lit, target)``
+    pairs; ``epsilon[s]`` lists epsilon targets.  ``accepts[s]`` maps an
+    accepting state to the integer tag of the rule it accepts (lowest tag
+    wins on conflict).
+    """
+
+    def __init__(self) -> None:
+        self.transitions: list[list[tuple[Lit, int]]] = []
+        self.epsilon: list[list[int]] = []
+        self.accepts: dict[int, int] = {}
+        self.start = self.new_state()
+
+    def new_state(self) -> int:
+        self.transitions.append([])
+        self.epsilon.append([])
+        return len(self.transitions) - 1
+
+    def add_edge(self, src: int, lit: Lit, dst: int) -> None:
+        self.transitions[src].append((lit, dst))
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        self.epsilon[src].append(dst)
+
+    def add_pattern(self, node: RegexNode, tag: int) -> None:
+        """Attach a pattern to the NFA start, accepting with ``tag``."""
+        entry, exit_ = self._compile(node)
+        self.add_epsilon(self.start, entry)
+        if exit_ in self.accepts:
+            self.accepts[exit_] = min(self.accepts[exit_], tag)
+        else:
+            self.accepts[exit_] = tag
+
+    def _compile(self, node: RegexNode) -> tuple[int, int]:
+        if isinstance(node, Empty):
+            s = self.new_state()
+            return s, s
+        if isinstance(node, Lit):
+            a, b = self.new_state(), self.new_state()
+            self.add_edge(a, node, b)
+            return a, b
+        if isinstance(node, Concat):
+            first_in, prev_out = self._compile(node.parts[0])
+            for part in node.parts[1:]:
+                nxt_in, nxt_out = self._compile(part)
+                self.add_epsilon(prev_out, nxt_in)
+                prev_out = nxt_out
+            return first_in, prev_out
+        if isinstance(node, Alternate):
+            a, b = self.new_state(), self.new_state()
+            for option in node.options:
+                i, o = self._compile(option)
+                self.add_epsilon(a, i)
+                self.add_epsilon(o, b)
+            return a, b
+        if isinstance(node, Repeat):
+            a, b = self.new_state(), self.new_state()
+            i, o = self._compile(node.item)
+            self.add_epsilon(a, i)
+            self.add_epsilon(o, b)
+            self.add_epsilon(o, i)
+            if node.min_count == 0:
+                self.add_epsilon(a, b)
+            return a, b
+        if isinstance(node, Optional):
+            a, b = self.new_state(), self.new_state()
+            i, o = self._compile(node.item)
+            self.add_epsilon(a, i)
+            self.add_epsilon(o, b)
+            self.add_epsilon(a, b)
+            return a, b
+        raise RegexError(f"unknown regex node {node!r}")
+
+    def epsilon_closure(self, states: frozenset[int]) -> frozenset[int]:
+        seen = set(states)
+        work = list(states)
+        while work:
+            s = work.pop()
+            for t in self.epsilon[s]:
+                if t not in seen:
+                    seen.add(t)
+                    work.append(t)
+        return frozenset(seen)

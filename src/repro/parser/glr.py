@@ -1,0 +1,93 @@
+"""Batch GLR parsing.
+
+A batch GLR parse is the degenerate case of incremental GLR parsing: an
+input stream containing only fresh terminal nodes and an empty
+modification plan.  This module provides that convenience wrapper so
+callers (and the benchmarks' batch baselines) do not have to build the
+stream themselves, plus helpers for enumerating the parse forest.
+"""
+
+from __future__ import annotations
+
+from ..dag.nodes import Node, TerminalNode
+from ..lexing.tokens import Token
+from .iglr import IGLRParser, ParseResult
+from .input_stream import InputStream
+
+
+class GLRParser:
+    """Tomita/Rekers-style batch GLR parsing over a conflicted table."""
+
+    def __init__(self, table, share_nodes: bool = True) -> None:
+        self._engine = IGLRParser(table, share_nodes=share_nodes)
+
+    @property
+    def table(self):
+        return self._engine.table
+
+    def parse(self, tokens: list[Token]) -> ParseResult:
+        """Parse a complete token stream (ending with EOS)."""
+        terminals: list[Node] = [TerminalNode(tok) for tok in tokens]
+        return self._engine.parse(InputStream(terminals))
+
+
+def _flatten_part(part: Node) -> list[Node]:
+    out: list[Node] = []
+    stack = [part]
+    while stack:
+        current = stack.pop()
+        if current.is_sequence_part:
+            stack.extend(reversed(current.kids))
+        else:
+            out.append(current)
+    return out
+
+
+def enumerate_trees(node: Node, limit: int = 1000) -> list[tuple]:
+    """Expand a parse DAG into explicit trees (testing/diagnostics).
+
+    Each tree is a nested tuple ``(symbol, child_trees...)`` with
+    terminals rendered as ``(type, text)``.  Stops after ``limit`` trees
+    to avoid exponential blowup on highly ambiguous inputs.
+    """
+
+    def expand(current: Node) -> list[tuple]:
+        if current.is_terminal:
+            return [(current.symbol, current.text)]  # type: ignore[attr-defined]
+        if current.is_symbol_node:
+            results: list[tuple] = []
+            for alternative in current.kids:
+                results.extend(expand(alternative))
+                if len(results) > limit:
+                    break
+            return results[:limit]
+        if current.is_sequence_node or current.is_sequence_part:
+            # Balanced containers are representation, not syntax: render
+            # a sequence as (symbol, item...), independent of internal
+            # part shape, so balanced and spliced trees compare equal.
+            items = (
+                current.items()
+                if current.is_sequence_node
+                else _flatten_part(current)
+            )
+            kid_options = [expand(item) for item in items]
+            results = [(current.symbol,)]
+            for options in kid_options:
+                results = [
+                    (*prefix, option)
+                    for prefix in results
+                    for option in options
+                ][:limit]
+            return results
+        kid_options = [expand(kid) for kid in current.kids]
+        results = [(current.symbol,)]
+        for options in kid_options:
+            extended = [
+                (*prefix, option)
+                for prefix in results
+                for option in options
+            ]
+            results = extended[:limit]
+        return results
+
+    return expand(node)

@@ -1,0 +1,99 @@
+"""The graph-structured parse stack (GSS) for generalized LR parsing.
+
+Following Tomita/Rekers, the combined stacks of all simultaneously active
+parsers are represented as a DAG of :class:`GssNode` objects.  Each edge
+(:class:`GssLink`) carries the parse-DAG node that was shifted over it,
+so reductions recover their children by walking link paths.
+
+Unlike Ferro & Dion's incremental PDA simulator, the GSS here is a
+*transient* structure: it exists only during a parse and is discarded
+afterwards, exactly as the paper prescribes (section 3.5).  The
+persistent program representation is the abstract parse DAG alone.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..dag.nodes import Node
+
+
+class GssLink:
+    """An edge of the GSS, labelled with the parse-DAG node shifted over it.
+
+    ``node`` is mutable: when a later reduction discovers an alternative
+    interpretation for the same region, the link's label is upgraded to a
+    choice (symbol) node in place (local ambiguity packing).
+    """
+
+    __slots__ = ("head", "node")
+
+    def __init__(self, head: "GssNode", node: Node) -> None:
+        self.head = head
+        self.node = node
+
+
+class GssNode:
+    """A vertex of the GSS: one parser configuration (a parse state)."""
+
+    __slots__ = ("state", "links")
+
+    def __init__(self, state: int, link: GssLink | None = None) -> None:
+        self.state = state
+        self.links: list[GssLink] = [link] if link is not None else []
+
+    def add_link(self, link: GssLink) -> None:
+        self.links.append(link)
+
+    def link_to(self, head: "GssNode") -> GssLink | None:
+        """The direct link to ``head``, if one exists."""
+        for link in self.links:
+            if link.head is head:
+                return link
+        return None
+
+    def paths(self, length: int) -> Iterator[tuple[tuple[Node, ...], "GssNode"]]:
+        """All paths of ``length`` links from this node.
+
+        Yields ``(kids, tail)`` where ``kids`` are the parse-DAG nodes
+        along the path in left-to-right order and ``tail`` is the GSS
+        node reached (the state exposed by popping the path).
+        """
+        if length == 0:
+            yield (), self
+            return
+        stack: list[tuple[GssNode, tuple[Node, ...]]] = [(self, ())]
+        while stack:
+            node, acc = stack.pop()
+            for link in node.links:
+                new_acc = (link.node, *acc)
+                if len(new_acc) == length:
+                    yield new_acc, link.head
+                else:
+                    stack.append((link.head, new_acc))
+
+    def paths_through(
+        self, length: int, link: GssLink
+    ) -> Iterator[tuple[tuple[Node, ...], "GssNode"]]:
+        """All ``length``-link paths from this node that traverse ``link``.
+
+        Used by the re-reduction step: when a new link is added to an
+        already-processed parser, only reductions crossing that specific
+        link need to be redone (Appendix A, do-limited-reductions).
+        """
+        if length == 0:
+            return
+        stack: list[tuple[GssNode, tuple[Node, ...], bool]] = [(self, (), False)]
+        while stack:
+            node, acc, used = stack.pop()
+            for candidate in node.links:
+                new_acc = (candidate.node, *acc)
+                new_used = used or candidate is link
+                if len(new_acc) == length:
+                    if new_used:
+                        yield new_acc, candidate.head
+                else:
+                    stack.append((candidate.head, new_acc, new_used))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GssNode(state={self.state}, links={len(self.links)})"

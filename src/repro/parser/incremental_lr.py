@@ -1,0 +1,158 @@
+"""Deterministic incremental LR parsing (paper section 3.2).
+
+Two reuse disciplines are provided:
+
+* ``state-matching`` (Jalili & Gallier) — a subtree is shifted whole when
+  the current parse state equals the state recorded in the subtree's
+  root.  This stores one state word per node (the ~5% space figure of
+  section 5) and is the discipline IGLR builds on.
+* ``sentential-form`` (the paper's reference [25]) — a subtree is shifted
+  whenever the goto function is defined for it.  No states are stored,
+  which is cheaper for deterministic grammars, but the weaker test cannot
+  drive a non-deterministic parser (section 3.2), which is exactly why
+  IGLR needs state matching.
+
+Both run over the same :class:`~repro.parser.input_stream.InputStream`
+(old subtrees + fresh terminals) so the benchmarks compare disciplines,
+not plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from ..dag.nodes import NO_STATE, Node, ProductionNode
+from ..tables.parse_table import ACCEPT, REDUCE, SHIFT, ParseTable
+from .input_stream import InputStream
+from .iglr import ParseError, ParseResult, ParseStats
+
+
+class IncrementalLRParser:
+    """Deterministic incremental parser over a conflict-free table."""
+
+    def __init__(
+        self,
+        table: ParseTable,
+        mode: Literal["state-matching", "sentential-form"] = "state-matching",
+    ) -> None:
+        table.require_deterministic()
+        if mode not in ("state-matching", "sentential-form"):
+            raise ValueError(f"unknown reuse mode {mode!r}")
+        self.table = table
+        self.grammar = table.grammar
+        self.mode = mode
+
+    # -- reuse test ------------------------------------------------------------
+
+    def _reusable(self, node: Node, state: int) -> bool:
+        if (
+            node.is_terminal
+            or node.is_symbol_node
+            or node.n_terms == 0
+        ):
+            return False
+        if self.mode == "state-matching":
+            return node.state != NO_STATE and node.state == state
+        return self.table.goto(state, node.symbol) is not None
+
+    # -- main loop ----------------------------------------------------------------
+
+    def parse(self, stream: InputStream) -> ParseResult:
+        stats = ParseStats()
+        new_nodes: list[Node] = []
+        self._stream_pool = stream.reuse_pool  # node retention, paper [25]
+        states = [self.table.start_state]
+        nodes: list[Node] = []
+        while True:
+            la = stream.lookahead
+            if la is None:
+                raise ParseError("unexpected end of input", None)
+            state = states[-1]
+            # Whole-subtree shift, the incremental fast path.
+            if not la.is_terminal:
+                if not stream.has_changes(la) and self._reusable(la, state):
+                    target = self.table.goto(state, la.symbol)
+                    assert target is not None
+                    if self.mode == "state-matching":
+                        la.state = state
+                    nodes.append(la)
+                    states.append(target)
+                    stats.shifts += 1
+                    stats.subtree_shifts += 1
+                    stream.pop_lookahead()
+                    continue
+                # Try the nonterminal-lookahead reduction fast path before
+                # decomposing (precomputed nonterminal reductions, 3.2).
+                actions = None
+                if not stream.has_changes(la) and not la.is_symbol_node:
+                    actions = self.table.nt_action(state, la.symbol)
+                if actions is None:
+                    terminal = stream.reduction_terminal()
+                    if terminal is None:
+                        raise ParseError("unexpected end of input", None)
+                    actions = self.table.action(state, terminal.symbol)
+                kind = actions[0][0] if actions else None
+                if kind == REDUCE:
+                    self._reduce(actions[0][1], states, nodes, stats, new_nodes)
+                    continue
+                if kind == ACCEPT:
+                    return ParseResult(nodes[-1], stats, new_nodes)
+                # Need to shift (or error) -- expose more structure.
+                stream.left_breakdown()
+                stats.breakdowns = stream.breakdowns
+                continue
+            # Terminal lookahead: classical LR step.
+            actions = self.table.action(state, la.symbol)
+            if not actions:
+                raise ParseError(
+                    f"syntax error at {la.symbol} ({la.text!r})", la
+                )
+            kind, *rest = actions[0]
+            if kind == SHIFT:
+                la.state = state
+                nodes.append(la)
+                states.append(rest[0])
+                stats.shifts += 1
+                stream.pop_lookahead()
+            elif kind == REDUCE:
+                self._reduce(rest[0], states, nodes, stats, new_nodes)
+            else:  # ACCEPT
+                return ParseResult(nodes[-1], stats, new_nodes)
+
+    def _reduce(
+        self,
+        rule: int,
+        states: list[int],
+        nodes: list[Node],
+        stats: ParseStats,
+        new_nodes: list[Node],
+    ) -> None:
+        production = self.grammar.productions[rule]
+        arity = production.arity
+        if arity:
+            kids = tuple(nodes[-arity:])
+            del nodes[-arity:]
+            del states[-arity:]
+        else:
+            kids = ()
+        state = states[-1]
+        stored = state if self.mode == "state-matching" else NO_STATE
+        node = None
+        if kids:
+            pooled = self._stream_pool.get(
+                (production.index, tuple(map(id, kids)))
+            )
+            if pooled:
+                node = pooled.pop()
+                node.state = stored
+                stats.nodes_reused += 1
+        if node is None:
+            node = ProductionNode(production, kids, stored)
+            stats.nodes_created += 1
+        new_nodes.append(node)
+        stats.reductions += 1
+        nodes.append(node)
+        target = self.table.goto(state, production.lhs)
+        if target is None:
+            raise ParseError(f"missing goto for {production.lhs}", None)
+        states.append(target)

@@ -1,0 +1,77 @@
+"""Batch deterministic LR parsing.
+
+The baseline parser of the paper's section 5 experiments: a classical
+shift/reduce driver over a conflict-free table, building an ordinary
+parse tree of :class:`~repro.dag.nodes.ProductionNode` objects from a
+token list.  It exists so the benchmarks can compare
+
+* batch parse time, deterministic vs IGLR (the 12% vs 15% experiment),
+* node construction cost, which dominates both parsers.
+"""
+
+from __future__ import annotations
+
+from ..dag.nodes import Node, ProductionNode, TerminalNode
+from ..lexing.tokens import Token
+from ..tables.parse_table import ACCEPT, REDUCE, SHIFT, ParseTable
+from .iglr import ParseError, ParseResult, ParseStats
+
+
+class LRParser:
+    """A plain deterministic LR(1)-driver (LALR or SLR table)."""
+
+    def __init__(self, table: ParseTable) -> None:
+        table.require_deterministic()
+        self.table = table
+        self.grammar = table.grammar
+
+    def parse(self, tokens: list[Token]) -> ParseResult:
+        """Parse a complete token stream (ending with EOS) to a tree."""
+        stats = ParseStats()
+        action_of = self.table.action
+        goto_of = self.table.goto
+        productions = self.grammar.productions
+        states = [self.table.start_state]
+        nodes: list[Node] = []
+        pos = 0
+        n = len(tokens)
+        while True:
+            token = tokens[pos]
+            actions = action_of(states[-1], token.type)
+            if not actions:
+                raise ParseError(
+                    f"syntax error at {token.type} ({token.text!r})",
+                    None,
+                )
+            kind = actions[0][0]
+            if kind == SHIFT:
+                node = TerminalNode(token, states[-1])
+                nodes.append(node)
+                states.append(actions[0][1])
+                stats.shifts += 1
+                pos += 1
+                if pos >= n:
+                    raise ParseError("ran past end of input", None)
+            elif kind == REDUCE:
+                production = productions[actions[0][1]]
+                arity = production.arity
+                if arity:
+                    kids = tuple(nodes[-arity:])
+                    del nodes[-arity:]
+                    del states[-arity:]
+                else:
+                    kids = ()
+                node = ProductionNode(production, kids, states[-1])
+                node.adopt_kids()
+                nodes.append(node)
+                stats.reductions += 1
+                stats.nodes_created += 1
+                target = goto_of(states[-1], production.lhs)
+                if target is None:
+                    raise ParseError(
+                        f"missing goto for {production.lhs}", None
+                    )
+                states.append(target)
+            else:  # ACCEPT
+                assert kind == ACCEPT
+                return ParseResult(nodes[-1], stats, [])

@@ -1,0 +1,37 @@
+"""Semantic analysis substrate: scopes, filters, typedef disambiguation."""
+
+from .analyzer import Decision, SemanticReport, TypedefAnalyzer
+from .attributes import AttributeEvaluator, standard_evaluator
+from .filters import (
+    accept,
+    apply_syntactic_filters,
+    is_rejected,
+    prefer_tagged,
+    production_tags,
+    reject,
+    reset_choice,
+    resolved_view,
+    semantic_select,
+)
+from .symtab import Binding, BindingTable, Namespace, Scope
+
+__all__ = [
+    "AttributeEvaluator",
+    "Binding",
+    "BindingTable",
+    "standard_evaluator",
+    "Decision",
+    "Namespace",
+    "Scope",
+    "SemanticReport",
+    "TypedefAnalyzer",
+    "accept",
+    "apply_syntactic_filters",
+    "is_rejected",
+    "prefer_tagged",
+    "production_tags",
+    "reject",
+    "reset_choice",
+    "resolved_view",
+    "semantic_select",
+]

@@ -1,0 +1,345 @@
+"""Semantic disambiguation of the typedef problem (paper section 4.2).
+
+The analysis follows the paper's staged organization (Figure 8):
+
+1. **Typedef processing** — a forward walk collects ``typedef``
+   declarations into per-scope binding contours.
+2. **Namespace propagation / disambiguation** — each decl-vs-expr choice
+   point is decided by the namespace of its leading identifier: a type
+   name selects the declaration, an ordinary binding selects the
+   expression statement.  Rejected interpretations are *retained* and
+   merely marked filtered, because the decision is reversible.
+3. **Error retention** — an unbound leading identifier leaves the choice
+   unresolved: all interpretations stay live indefinitely (section 4.3),
+   and later edits may resolve them.
+
+Incrementality: the analyzer records, per decision, which name it
+depended on.  When a later version adds or removes typedefs, only the
+choice points depending on affected names are re-decided
+(:meth:`TypedefAnalyzer.update`), instead of re-walking the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dag.nodes import Node, ProductionNode, SymbolNode, TerminalNode
+from ..langs.minic import (
+    declared_name,
+    is_decl_alternative,
+    is_stmt_alternative,
+    is_typedef_choice,
+    leading_identifier,
+)
+from ..versioned.document import Document
+from .filters import reset_choice, semantic_select
+from .symtab import Binding, BindingTable, Namespace, Scope
+
+
+@dataclass
+class Decision:
+    """One resolved (or unresolved) choice point."""
+
+    choice: SymbolNode
+    name: str
+    resolved_as: str | None  # "decl" | "stmt" | None (unresolved)
+    scope: Scope
+
+
+@dataclass
+class SemanticReport:
+    """Outcome of a semantic analysis pass."""
+
+    decisions: list[Decision] = field(default_factory=list)
+    unresolved: list[Decision] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    typedef_names: set[str] = field(default_factory=set)
+    sites_refiltered: int = 0
+    full_pass: bool = True
+
+    @property
+    def resolved_count(self) -> int:
+        return len(self.decisions) - len(self.unresolved)
+
+
+class TypedefAnalyzer:
+    """Scope-aware disambiguation for MiniC documents."""
+
+    def __init__(self, document: Document) -> None:
+        self.document = document
+        self.table = BindingTable()
+        # name -> {id(choice): latest Decision} so re-decisions replace
+        # earlier ones instead of accumulating.
+        self._decisions_by_name: dict[str, dict[int, Decision]] = {}
+        self._last_typedefs: set[str] = set()
+        self._last_ordinary: dict[str, int] = {}
+
+    # -- full analysis -----------------------------------------------------
+
+    def analyze(self) -> SemanticReport:
+        """Run the full staged pass over the current tree."""
+        if self.document.body is None:
+            raise ValueError("document has not been parsed")
+        self.table = BindingTable()
+        self._decisions_by_name = {}
+        report = SemanticReport()
+        globals_ = Scope()
+        self._walk(self.document.body, globals_, report)
+        report.typedef_names = self.table.typedef_names()
+        self._last_ordinary, self._last_typedefs = (
+            self._scan_binding_signature()
+        )
+        return report
+
+    def _walk(self, node: Node, scope: Scope, report: SemanticReport) -> None:
+        if node.is_terminal:
+            return
+        if node.is_symbol_node:
+            self._decide_choice(node, scope, report)  # type: ignore[arg-type]
+            return
+        if not isinstance(node, ProductionNode):
+            # Balanced-sequence containers: recurse transparently.
+            for kid in node.kids:
+                self._walk(kid, scope, report)
+            return
+        lhs = node.production.lhs
+        if lhs == "typedef_decl":
+            self._bind_typedef(node, scope, report)
+            return
+        if lhs == "decl":
+            self._bind_decl(node, scope, report)
+            # Walk the initializer for uses.
+            for kid in node.kids[1:]:
+                self._walk(kid, scope, report)
+            return
+        if lhs == "func_def":
+            self._bind_func(node, scope, report)
+            return
+        if lhs == "block":
+            inner = Scope(scope)
+            for kid in node.kids:
+                self._walk(kid, inner, report)
+            return
+        if lhs == "type_name":
+            name = node.kids[0]
+            assert isinstance(name, TerminalNode)
+            if not scope.is_type_name(name.text):
+                report.errors.append(f"unknown type name {name.text!r}")
+            return
+        for kid in node.kids:
+            self._walk(kid, scope, report)
+
+    # -- binding builders ------------------------------------------------------
+
+    def _bind_typedef(
+        self, node: ProductionNode, scope: Scope, report: SemanticReport
+    ) -> None:
+        name = declared_name(node.kids[2])
+        if name is None:
+            report.errors.append("typedef without a name")
+            return
+        binding = Binding(name.text, Namespace.TYPE, "typedef", node)
+        scope.bind(binding)
+        self.table.record_binding(binding)
+
+    def _bind_decl(
+        self, node: ProductionNode, scope: Scope, report: SemanticReport
+    ) -> None:
+        name = declared_name(node.kids[1])
+        if name is None:
+            report.errors.append("declaration without a name")
+            return
+        binding = Binding(name.text, Namespace.ORDINARY, "var", node)
+        scope.bind(binding)
+        self.table.record_binding(binding)
+        self._walk(node.kids[0], scope, report)  # validate the type_spec
+
+    def _bind_func(
+        self, node: ProductionNode, scope: Scope, report: SemanticReport
+    ) -> None:
+        # func_def : type_spec ID '(' params ')' block
+        name = node.kids[1]
+        assert isinstance(name, TerminalNode)
+        scope_binding = Binding(name.text, Namespace.ORDINARY, "func", node)
+        scope.bind(scope_binding)
+        self.table.record_binding(scope_binding)
+        self._walk(node.kids[0], scope, report)
+        inner = Scope(scope)
+        params = node.kids[3]
+        for param in self._iter_params(params):
+            pname = declared_name(param.kids[1])
+            if pname is not None:
+                inner.bind(
+                    Binding(pname.text, Namespace.ORDINARY, "param", param)
+                )
+        self._walk(node.kids[5], inner, report)
+
+    def _iter_params(self, node: Node):
+        if node.is_terminal:
+            return
+        if isinstance(node, ProductionNode) and node.production.lhs == "param":
+            yield node
+            return
+        for kid in node.kids:
+            yield from self._iter_params(kid)
+
+    # -- choice resolution ----------------------------------------------------------
+
+    def _decide_choice(
+        self, choice: SymbolNode, scope: Scope, report: SemanticReport
+    ) -> None:
+        if not is_typedef_choice(choice):
+            # Unknown ambiguity: leave it; walk the first alternative for
+            # binding effects so analysis can continue (section 4.3).
+            report.errors.append(
+                f"unhandled ambiguity at {choice.symbol!r}"
+            )
+            return
+        name_term = leading_identifier(choice)
+        if name_term is None:
+            report.errors.append("ambiguous item without an identifier")
+            return
+        name = name_term.text
+        self.table.record_use(name, choice)
+        decision = self._apply_namespace(choice, name, scope)
+        report.decisions.append(decision)
+        self._decisions_by_name.setdefault(name, {})[id(choice)] = decision
+        if decision.resolved_as is None:
+            report.unresolved.append(decision)
+            report.errors.append(
+                f"cannot resolve {name!r}: no binding in scope"
+            )
+            return
+        selected = choice.selected()
+        if selected is not None:
+            self._walk_selected(selected, scope, report)
+
+    def _apply_namespace(
+        self, choice: SymbolNode, name: str, scope: Scope
+    ) -> Decision:
+        binding = scope.lookup(name)
+        if binding is None:
+            reset_choice(choice)
+            return Decision(choice, name, None, scope)
+        if binding.namespace is Namespace.TYPE:
+            semantic_select(choice, is_decl_alternative, f"{name} is a type")
+            return Decision(choice, name, "decl", scope)
+        semantic_select(
+            choice, is_stmt_alternative, f"{name} is an ordinary identifier"
+        )
+        return Decision(choice, name, "stmt", scope)
+
+    def _walk_selected(
+        self, selected: Node, scope: Scope, report: SemanticReport
+    ) -> None:
+        # The selected interpretation may introduce bindings (a resolved
+        # declaration binds its declarator).
+        self._walk(selected, scope, report)
+
+    # -- incremental re-disambiguation -------------------------------------------------
+
+    def update(self) -> SemanticReport:
+        """Re-analyze after an edit/reparse cycle.
+
+        Fast path: when the tree still contains every previously decided
+        choice and the edit only changed which typedefs exist, re-decide
+        exactly the choice points whose leading name's binding status
+        flipped (paper 4.2: use sites located via binding information).
+        Otherwise fall back to a full pass.
+        """
+        # Fast path preconditions: the reparse introduced no new choice
+        # points (old decisions are all still in the tree) and the
+        # ordinary-namespace bindings are unchanged, so the only thing
+        # that can flip a decision is the typedef set itself.  Binding
+        # signatures deliberately ignore scope placement; a declaration
+        # moving between scopes without changing its name is rare enough
+        # that the resulting full pass (triggered by the symbol-node or
+        # signature checks in practice) is an acceptable fallback.
+        result = self.document.last_result
+        new_choice_points = result is not None and any(
+            n.is_symbol_node for n in result.new_nodes
+        )
+        if new_choice_points or not self._decisions_by_name:
+            return self.analyze()
+        ordinary, new_typedefs = self._scan_binding_signature()
+        flipped = new_typedefs ^ self._last_typedefs
+        if ordinary != self._last_ordinary or not flipped:
+            return self.analyze()
+        report = SemanticReport(full_pass=False)
+        report.typedef_names = new_typedefs
+        for name in flipped:
+            for decision in list(self._decisions_by_name.get(name, {}).values()):
+                if not self._still_in_tree(decision.choice):
+                    continue
+                new_decision = self._redecide(decision, name in new_typedefs)
+                report.decisions.append(new_decision)
+                if new_decision.resolved_as is None:
+                    report.unresolved.append(new_decision)
+                report.sites_refiltered += 1
+        self._last_typedefs = new_typedefs
+        return report
+
+    def _scan_binding_signature(self) -> tuple[dict[str, int], set[str]]:
+        """One light structural walk: ordinary-binding multiset + typedefs.
+
+        Cheap relative to :meth:`analyze` (no scope construction, no
+        filtering), and sufficient to decide whether the targeted
+        re-disambiguation path is sound.
+        """
+        ordinary: dict[str, int] = {}
+        typedefs: set[str] = set()
+        assert self.document.body is not None
+        for node in self.document.body.walk(into_alternatives=False):
+            if not isinstance(node, ProductionNode):
+                continue
+            lhs = node.production.lhs
+            if lhs == "typedef_decl":
+                term = declared_name(node.kids[2])
+                if term is not None:
+                    typedefs.add(term.text)
+            elif lhs == "decl":
+                term = declared_name(node.kids[1])
+                if term is not None:
+                    ordinary[term.text] = ordinary.get(term.text, 0) + 1
+            elif lhs == "func_def":
+                name = node.kids[1]
+                if isinstance(name, TerminalNode):
+                    ordinary[name.text] = ordinary.get(name.text, 0) + 1
+                for param in self._iter_params(node.kids[3]):
+                    term = declared_name(param.kids[1])
+                    if term is not None:
+                        ordinary[term.text] = ordinary.get(term.text, 0) + 1
+        return ordinary, typedefs
+
+    def _still_in_tree(self, node: Node) -> bool:
+        current: Node | None = node
+        while current is not None:
+            if current is self.document.tree:
+                return True
+            current = current.parent
+        return False
+
+    def _redecide(self, decision: Decision, is_type: bool) -> Decision:
+        choice = decision.choice
+        reset_choice(choice)
+        if is_type:
+            semantic_select(
+                choice, is_decl_alternative, f"{decision.name} is a type"
+            )
+            new = Decision(choice, decision.name, "decl", decision.scope)
+        else:
+            binding = decision.scope.lookup(decision.name)
+            if binding is None or binding.namespace is Namespace.TYPE:
+                # The stale contour's only entry was the removed typedef:
+                # the name is now unbound, so the choice reverts to the
+                # unresolved (error) state, matching a full pass.
+                new = Decision(choice, decision.name, None, decision.scope)
+            else:
+                semantic_select(
+                    choice,
+                    is_stmt_alternative,
+                    f"{decision.name} is an ordinary identifier",
+                )
+                new = Decision(choice, decision.name, "stmt", decision.scope)
+        self._decisions_by_name.setdefault(decision.name, {})[id(choice)] = new
+        return new

@@ -1,0 +1,106 @@
+"""Scopes and binding contours.
+
+The first stage of semantic analysis gathers type names introduced by
+``typedef`` declarations into a *binding contour* per scope, which is
+then propagated through the scope (paper Figure 8a/b).  Identifier
+namespace decisions -- is ``a`` a type name or an ordinary identifier
+here? -- are then simple scope lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+
+class Namespace(Enum):
+    """Which identifier namespace a binding occupies.
+
+    The typedef problem exists precisely because C's context-free syntax
+    cannot distinguish these namespaces without binding information.
+    """
+
+    TYPE = "type"
+    ORDINARY = "ordinary"  # variables, functions
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One name binding."""
+
+    name: str
+    namespace: Namespace
+    kind: str  # "typedef", "var", "param", "func"
+    node: object = None  # the declaring parse-DAG node
+
+
+class Scope:
+    """A lexical scope: one binding contour plus a parent chain."""
+
+    def __init__(self, parent: "Scope | None" = None) -> None:
+        self.parent = parent
+        self._bindings: dict[str, Binding] = {}
+
+    def bind(self, binding: Binding) -> None:
+        """Add a binding; later bindings shadow earlier ones in-scope."""
+        self._bindings[binding.name] = binding
+
+    def lookup_local(self, name: str) -> Binding | None:
+        return self._bindings.get(name)
+
+    def lookup(self, name: str) -> Binding | None:
+        """Innermost-scope-first lookup."""
+        scope: Scope | None = self
+        while scope is not None:
+            binding = scope._bindings.get(name)
+            if binding is not None:
+                return binding
+            scope = scope.parent
+        return None
+
+    def is_type_name(self, name: str) -> bool:
+        """The namespace decision at the heart of the typedef problem."""
+        binding = self.lookup(name)
+        return binding is not None and binding.namespace is Namespace.TYPE
+
+    def bindings(self) -> Iterator[Binding]:
+        yield from self._bindings.values()
+
+    def depth(self) -> int:
+        depth = 0
+        scope = self.parent
+        while scope is not None:
+            depth += 1
+            scope = scope.parent
+        return depth
+
+
+@dataclass
+class BindingTable:
+    """All bindings produced by an analysis pass, indexed by name.
+
+    ``use_sites`` maps names to the choice points whose resolution
+    depended on that name's namespace; when a later edit changes the
+    binding (e.g. a typedef is removed), exactly those sites need
+    re-disambiguation (paper section 4.2: "binding information stored in
+    semantic attributes allows the former uses of the declaration to be
+    efficiently located").
+    """
+
+    bindings: list[Binding] = field(default_factory=list)
+    use_sites: dict[str, list[object]] = field(default_factory=dict)
+
+    def record_binding(self, binding: Binding) -> None:
+        self.bindings.append(binding)
+
+    def record_use(self, name: str, site: object) -> None:
+        self.use_sites.setdefault(name, []).append(site)
+
+    def typedef_names(self) -> set[str]:
+        return {
+            b.name for b in self.bindings if b.namespace is Namespace.TYPE
+        }
+
+    def sites_for(self, name: str) -> list[object]:
+        return self.use_sites.get(name, [])

@@ -1,0 +1,28 @@
+"""LR(0) automata and conflict-preserving LALR(1)/SLR(1) parse tables."""
+
+from .lalr import LALRLookaheads, digraph
+from .lr0 import Item, LR0Automaton, State
+from .parse_table import (
+    ACCEPT,
+    REDUCE,
+    SHIFT,
+    Action,
+    Conflict,
+    ParseTable,
+    TableError,
+)
+
+__all__ = [
+    "ACCEPT",
+    "REDUCE",
+    "SHIFT",
+    "Action",
+    "Conflict",
+    "Item",
+    "LALRLookaheads",
+    "LR0Automaton",
+    "ParseTable",
+    "State",
+    "TableError",
+    "digraph",
+]

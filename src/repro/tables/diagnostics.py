@@ -1,0 +1,80 @@
+"""Human-readable diagnostics for parse tables.
+
+Conflict reports in the style of LR generators: for every surviving
+multi-action entry, the state's items and the competing actions.  With a
+conflict-preserving table these are informational (the GLR machinery
+handles them), but language designers still want to see where the
+grammar is non-deterministic and whether a static filter could remove it.
+"""
+
+from __future__ import annotations
+
+from ..grammar.cfg import EPSILON
+from .parse_table import ACCEPT, REDUCE, SHIFT, ParseTable
+
+
+def format_item(table: ParseTable, item) -> str:
+    production = table.automaton.production_of(item)
+    rhs = list(production.rhs) or []
+    rhs.insert(item.dot, "·")
+    body = " ".join(rhs) if production.rhs else f"· {EPSILON}"
+    return f"{production.lhs} -> {body}"
+
+
+def format_action(table: ParseTable, action) -> str:
+    kind = action[0]
+    if kind == SHIFT:
+        return f"shift, goto state {action[1]}"
+    if kind == REDUCE:
+        production = table.grammar.productions[action[1]]
+        rhs = " ".join(production.rhs) if production.rhs else EPSILON
+        return f"reduce {production.lhs} -> {rhs}"
+    if kind == ACCEPT:
+        return "accept"
+    return repr(action)
+
+
+def conflict_report(table: ParseTable) -> str:
+    """Describe every conflict: state items plus the competing actions."""
+    if not table.conflicts:
+        return "grammar is deterministic: no conflicts"
+    lines = [
+        f"{len(table.conflicts)} conflict(s) "
+        f"({sum(1 for c in table.conflicts if c.kind == 'shift/reduce')} "
+        f"shift/reduce, "
+        f"{sum(1 for c in table.conflicts if c.kind == 'reduce/reduce')} "
+        f"reduce/reduce)",
+        "",
+    ]
+    for conflict in table.conflicts:
+        lines.append(
+            f"state {conflict.state}, lookahead {conflict.terminal!r} "
+            f"[{conflict.kind}]"
+        )
+        state = table.automaton.states[conflict.state]
+        for item in sorted(state.closure):
+            marker = "*" if item in state.kernel else " "
+            lines.append(f"  {marker} {format_item(table, item)}")
+        for action in conflict.actions:
+            lines.append(f"    -> {format_action(table, action)}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def table_summary(table: ParseTable) -> str:
+    """One-paragraph statistics for a table."""
+    stats = table.stats()
+    grammar = table.grammar
+    kind = "deterministic" if table.is_deterministic else "non-deterministic"
+    return "\n".join(
+        [
+            f"method:       {table.method.upper()}(1), {kind}",
+            f"productions:  {len(grammar.productions)}",
+            f"terminals:    {len(grammar.terminals)}",
+            f"nonterminals: {len(grammar.nonterminals)}",
+            f"states:       {stats['states']}",
+            f"actions:      {stats['actions']} in {stats['entries']} entries",
+            f"gotos:        {stats['gotos']}",
+            f"conflicts:    {stats['conflicts']}",
+        ]
+    )

@@ -1,0 +1,192 @@
+"""LALR(1) lookahead computation via the DeRemer–Pennello relations.
+
+The paper drives its IGLR parser with LALR(1) tables ("not only are they
+significantly smaller than LR(1) tables, but they also yield faster
+parsing speeds in non-deterministic regions and improved incremental
+reuse", section 3.3).  We implement the efficient relational algorithm
+(DeRemer & Pennello 1982):
+
+* ``DR(p, A)``  — terminals directly readable after the A-transition of p.
+* ``reads``     — (p, A) reads (r, C) when goto(p, A)=r has a C-transition
+  with C nullable.
+* ``Read``      — smallest solution of DR over the ``reads`` digraph.
+* ``includes``  — (p, A) includes (p', B) when B -> beta A gamma with gamma
+  nullable and p' spells beta to p.
+* ``Follow``    — smallest solution of Read over ``includes``.
+* ``lookback``  — a reduction (q, B -> omega) looks back at every (p, B)
+  with p spelling omega to q; LA(q, B -> omega) is the union of Follow
+  over lookback.
+
+The digraph traversal is the standard SCC-merging algorithm from the
+original paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, TypeVar
+
+from ..grammar.analysis import GrammarAnalysis
+from ..grammar.cfg import EOF
+from .lr0 import LR0Automaton
+
+T = TypeVar("T", bound=Hashable)
+
+
+def digraph(
+    nodes: Iterable[T],
+    edges: Callable[[T], Iterable[T]],
+    base: Callable[[T], frozenset[str]],
+) -> dict[T, frozenset[str]]:
+    """DeRemer–Pennello digraph algorithm.
+
+    Computes the smallest sets F with ``F(x) >= base(x)`` and
+    ``F(x) >= F(y)`` for every edge ``x -> y``, merging strongly connected
+    components on the fly.
+    """
+    result: dict[T, frozenset[str]] = {}
+    stack: list[T] = []
+    N: dict[T, int] = {}
+    F: dict[T, set[str]] = {}
+    INFINITY = 1 << 60
+
+    def traverse(x: T) -> None:
+        # The textbook recursive algorithm, made iterative so large
+        # automata cannot hit Python's recursion limit.
+        stack.append(x)
+        N[x] = len(stack)
+        F[x] = set(base(x))
+        call_stack: list[tuple[T, list[T], int]] = [(x, list(edges(x)), 0)]
+        while call_stack:
+            node, node_succs, i = call_stack.pop()
+            descended = False
+            while i < len(node_succs):
+                y = node_succs[i]
+                i += 1
+                if N.get(y, 0) == 0:
+                    # Descend into y, then resume node at position i.
+                    call_stack.append((node, node_succs, i))
+                    stack.append(y)
+                    N[y] = len(stack)
+                    F[y] = set(base(y))
+                    call_stack.append((y, list(edges(y)), 0))
+                    descended = True
+                    break
+                N[node] = min(N[node], N[y])
+                if y in result:
+                    F[node] |= result[y]
+                else:
+                    F[node] |= F[y]
+            if descended:
+                continue
+            if N[node] == stack.index(node) + 1:
+                final = frozenset(F[node])
+                while True:
+                    top = stack.pop()
+                    N[top] = INFINITY
+                    result[top] = final
+                    if top == node:
+                        break
+            if call_stack:
+                parent = call_stack[-1][0]
+                N[parent] = min(N[parent], N[node])
+                F[parent] |= F[node]
+
+    for node in nodes:
+        if N.get(node, 0) == 0:
+            traverse(node)
+    return result
+
+
+class LALRLookaheads:
+    """LALR(1) lookahead sets for every reduction of an LR(0) automaton."""
+
+    def __init__(self, automaton: LR0Automaton, analysis: GrammarAnalysis) -> None:
+        self.automaton = automaton
+        self.analysis = analysis
+        self.grammar = automaton.grammar
+        self._nt_transitions = list(automaton.nonterminal_transitions())
+        self.read_sets = self._compute_read_sets()
+        self.follow_sets = self._compute_follow_sets()
+        self.la: dict[tuple[int, int], frozenset[str]] = self._compute_la()
+
+    # -- relations ----------------------------------------------------------
+
+    def _direct_read(self, trans: tuple[int, str]) -> frozenset[str]:
+        p, a = trans
+        r = self.automaton.goto(p, a)
+        assert r is not None
+        terms = {
+            sym
+            for sym in self.automaton.states[r].transitions
+            if self.grammar.is_terminal(sym)
+        }
+        # The start nonterminal's transition can also read end-of-input.
+        if a == self.grammar.productions[0].rhs[0] and p == 0:
+            terms.add(EOF)
+        return frozenset(terms)
+
+    def _reads(self, trans: tuple[int, str]) -> list[tuple[int, str]]:
+        p, a = trans
+        r = self.automaton.goto(p, a)
+        assert r is not None
+        out = []
+        for sym in self.automaton.states[r].transitions:
+            if self.grammar.is_nonterminal(sym) and self.analysis.is_nullable(sym):
+                out.append((r, sym))
+        return out
+
+    def _compute_read_sets(self) -> dict[tuple[int, str], frozenset[str]]:
+        return digraph(self._nt_transitions, self._reads, self._direct_read)
+
+    def _compute_includes(self) -> dict[tuple[int, str], list[tuple[int, str]]]:
+        includes: dict[tuple[int, str], list[tuple[int, str]]] = {
+            t: [] for t in self._nt_transitions
+        }
+        nullable = self.analysis.is_nullable
+        for p_prime, b in self._nt_transitions:
+            for prod in self.grammar.productions_for(b):
+                state = p_prime
+                for i, sym in enumerate(prod.rhs):
+                    if self.grammar.is_nonterminal(sym):
+                        rest = prod.rhs[i + 1 :]
+                        if all(nullable(s) for s in rest):
+                            if (state, sym) in includes:
+                                includes[(state, sym)].append((p_prime, b))
+                    nxt = self.automaton.goto(state, sym)
+                    if nxt is None:
+                        break
+                    state = nxt
+        return includes
+
+    def _compute_follow_sets(self) -> dict[tuple[int, str], frozenset[str]]:
+        includes = self._compute_includes()
+        return digraph(
+            self._nt_transitions,
+            lambda t: includes[t],
+            lambda t: self.read_sets[t],
+        )
+
+    def _lookback(self) -> dict[tuple[int, int], list[tuple[int, str]]]:
+        lookback: dict[tuple[int, int], list[tuple[int, str]]] = {}
+        for p, b in self._nt_transitions:
+            for prod in self.grammar.productions_for(b):
+                q = self.automaton.spell(p, prod.rhs)
+                if q is not None:
+                    lookback.setdefault((q, prod.index), []).append((p, b))
+        return lookback
+
+    def _compute_la(self) -> dict[tuple[int, int], frozenset[str]]:
+        la: dict[tuple[int, int], frozenset[str]] = {}
+        lookback = self._lookback()
+        for state in self.automaton.states:
+            for item in self.automaton.reductions_in(state.index):
+                key = (state.index, item.production)
+                follows: set[str] = set()
+                for trans in lookback.get(key, ()):
+                    follows |= self.follow_sets[trans]
+                la[key] = frozenset(follows)
+        return la
+
+    def lookahead(self, state: int, production: int) -> frozenset[str]:
+        """LA set for reducing ``production`` in ``state``."""
+        return self.la.get((state, production), frozenset())

@@ -1,0 +1,159 @@
+"""LR(0) automaton construction.
+
+States are canonical LR(0) item sets identified by their kernels.  The
+automaton is the common substrate for SLR(1) and LALR(1) lookahead
+computation (`repro.tables.slr`, `repro.tables.lalr`) and for the parse
+tables driving every parser in this system, deterministic or generalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..grammar.cfg import Grammar, Production
+
+
+@dataclass(frozen=True, order=True)
+class Item:
+    """An LR(0) item: a production with a dot position.
+
+    ``production`` is a production index into the (augmented) grammar.
+    """
+
+    production: int
+    dot: int
+
+    def advanced(self) -> "Item":
+        return Item(self.production, self.dot + 1)
+
+
+class State:
+    """One LR(0) state: kernel items plus their closure."""
+
+    __slots__ = ("index", "kernel", "closure", "transitions")
+
+    def __init__(self, index: int, kernel: frozenset[Item]) -> None:
+        self.index = index
+        self.kernel = kernel
+        self.closure: frozenset[Item] = frozenset()
+        self.transitions: dict[str, int] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"State({self.index}, kernel={sorted(self.kernel)})"
+
+
+class LR0Automaton:
+    """The canonical collection of LR(0) item sets.
+
+    The grammar is augmented on construction if it is not already.  State 0
+    is the start state (kernel: the start production with the dot at 0).
+    """
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar.augmented()
+        self.states: list[State] = []
+        self._state_index: dict[frozenset[Item], int] = {}
+        self._build()
+
+    # -- item helpers --------------------------------------------------------
+
+    def production_of(self, item: Item) -> Production:
+        return self.grammar.productions[item.production]
+
+    def symbol_after_dot(self, item: Item) -> str | None:
+        prod = self.production_of(item)
+        if item.dot < len(prod.rhs):
+            return prod.rhs[item.dot]
+        return None
+
+    def is_final(self, item: Item) -> bool:
+        return item.dot == len(self.production_of(item).rhs)
+
+    def closure_of(self, kernel: frozenset[Item]) -> frozenset[Item]:
+        """The epsilon-closure of a kernel item set."""
+        items = set(kernel)
+        work = list(kernel)
+        while work:
+            item = work.pop()
+            sym = self.symbol_after_dot(item)
+            if sym is None or not self.grammar.is_nonterminal(sym):
+                continue
+            for prod in self.grammar.productions_for(sym):
+                new = Item(prod.index, 0)
+                if new not in items:
+                    items.add(new)
+                    work.append(new)
+        return frozenset(items)
+
+    # -- construction ----------------------------------------------------------
+
+    def _intern(self, kernel: frozenset[Item]) -> int:
+        index = self._state_index.get(kernel)
+        if index is None:
+            index = len(self.states)
+            state = State(index, kernel)
+            state.closure = self.closure_of(kernel)
+            self.states.append(state)
+            self._state_index[kernel] = index
+        return index
+
+    def _build(self) -> None:
+        start_kernel = frozenset([Item(0, 0)])
+        self._intern(start_kernel)
+        pos = 0
+        while pos < len(self.states):
+            state = self.states[pos]
+            pos += 1
+            moves: dict[str, set[Item]] = {}
+            for item in state.closure:
+                sym = self.symbol_after_dot(item)
+                if sym is not None:
+                    moves.setdefault(sym, set()).add(item.advanced())
+            for sym in sorted(moves):
+                target = self._intern(frozenset(moves[sym]))
+                state.transitions[sym] = target
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def goto(self, state: int, symbol: str) -> int | None:
+        return self.states[state].transitions.get(symbol)
+
+    def reductions_in(self, state: int) -> list[Item]:
+        """Final items (possible reductions) in a state's closure."""
+        return [i for i in self.states[state].closure if self.is_final(i)]
+
+    def nonterminal_transitions(self) -> Iterator[tuple[int, str]]:
+        """All (state, nonterminal) pairs with a defined goto."""
+        for state in self.states:
+            for sym in state.transitions:
+                if self.grammar.is_nonterminal(sym):
+                    yield state.index, sym
+
+    def spell(self, state: int, symbols: tuple[str, ...]) -> int | None:
+        """Follow a symbol string from a state; None if undefined."""
+        current = state
+        for sym in symbols:
+            nxt = self.goto(current, sym)
+            if nxt is None:
+                return None
+            current = nxt
+        return current
+
+    def dump(self) -> str:
+        """Human-readable automaton listing (for debugging and docs)."""
+        lines: list[str] = []
+        for state in self.states:
+            lines.append(f"state {state.index}:")
+            for item in sorted(state.closure):
+                prod = self.production_of(item)
+                rhs = list(prod.rhs)
+                rhs.insert(item.dot, ".")
+                marker = " (kernel)" if item in state.kernel else ""
+                lines.append(f"  {prod.lhs} -> {' '.join(rhs)}{marker}")
+            for sym, target in sorted(state.transitions.items()):
+                lines.append(f"  {sym} => state {target}")
+        return "\n".join(lines)

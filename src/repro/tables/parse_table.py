@@ -1,0 +1,253 @@
+"""Conflict-preserving LALR(1)/SLR(1) parse tables.
+
+Unlike a classical generator, conflicts are *not* errors here: the table
+retains every action for a (state, terminal) pair, exactly as the paper's
+modified bison "explicitly records all conflicts in the grammar" (section
+5).  Deterministic parsers require a conflict-free table; the GLR parsers
+fork on multi-action entries.
+
+Static syntactic filters (section 4.1) are supported: yacc-style
+precedence/associativity declarations remove shift/reduce conflicts at
+table-construction time, so statically filtered ambiguity never reaches
+the parser.
+
+For incremental parsing with nonterminal lookaheads (section 3.2), the
+table precomputes *nonterminal reductions*: a reduction may be performed
+with nonterminal lookahead N when every terminal in FIRST(N) selects the
+same action in the state and N does not derive epsilon; otherwise the
+entry is invalid and the parser must break the lookahead down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from ..grammar.analysis import GrammarAnalysis
+from ..grammar.cfg import EOF, Assoc, Grammar
+from .lalr import LALRLookaheads
+from .lr0 import LR0Automaton
+
+# Actions are small tagged tuples, cheap to hash and compare:
+#   ("s", target_state) | ("r", production_index) | ("acc",)
+Action = tuple
+SHIFT = "s"
+REDUCE = "r"
+ACCEPT = "acc"
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A surviving multi-action table entry."""
+
+    state: int
+    terminal: str
+    actions: tuple[Action, ...]
+
+    @property
+    def kind(self) -> str:
+        n_shift = sum(1 for a in self.actions if a[0] == SHIFT)
+        n_reduce = sum(1 for a in self.actions if a[0] == REDUCE)
+        if n_shift and n_reduce:
+            return "shift/reduce"
+        if n_reduce > 1:
+            return "reduce/reduce"
+        return "other"
+
+
+class TableError(Exception):
+    """Raised when a deterministic parser is given a conflicted table."""
+
+
+class ParseTable:
+    """Action/goto tables over an LR(0) automaton.
+
+    Attributes:
+        actions: per state, terminal -> tuple of actions (length > 1 at
+            genuinely non-deterministic entries).
+        gotos: per state, nonterminal -> target state.
+        conflicts: entries still holding multiple actions after static
+            precedence filtering.
+        nonassoc_errors: (state, terminal) pairs removed entirely by a
+            %nonassoc declaration (explicit syntax errors).
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        method: Literal["lalr", "slr"] = "lalr",
+        resolve_precedence: bool = True,
+    ) -> None:
+        self.grammar = grammar.augmented()
+        self.method = method
+        self.automaton = LR0Automaton(self.grammar)
+        self.analysis = GrammarAnalysis(self.grammar)
+        self.actions: list[dict[str, tuple[Action, ...]]] = []
+        self.gotos: list[dict[str, int]] = []
+        self.nonassoc_errors: set[tuple[int, str]] = set()
+        self.conflicts: list[Conflict] = []
+        self._nt_action_cache: list[dict[str, tuple[Action, ...] | None]] = []
+        self._build(resolve_precedence)
+
+    # -- construction -----------------------------------------------------
+
+    def _lookaheads(self) -> dict[tuple[int, int], frozenset[str]]:
+        if self.method == "lalr":
+            lalr = LALRLookaheads(self.automaton, self.analysis)
+            return lalr.la
+        la: dict[tuple[int, int], frozenset[str]] = {}
+        for state in self.automaton.states:
+            for item in self.automaton.reductions_in(state.index):
+                prod = self.automaton.production_of(item)
+                la[(state.index, item.production)] = self.analysis.follow_of(
+                    prod.lhs
+                )
+        return la
+
+    def _build(self, resolve_precedence: bool) -> None:
+        lookaheads = self._lookaheads()
+        for state in self.automaton.states:
+            acts: dict[str, list[Action]] = {}
+            gotos: dict[str, int] = {}
+            for sym, target in state.transitions.items():
+                if self.grammar.is_terminal(sym):
+                    acts.setdefault(sym, []).append((SHIFT, target))
+                else:
+                    gotos[sym] = target
+            for item in self.automaton.reductions_in(state.index):
+                if item.production == 0:
+                    acts.setdefault(EOF, []).append((ACCEPT,))
+                    continue
+                for term in lookaheads[(state.index, item.production)]:
+                    acts.setdefault(term, []).append((REDUCE, item.production))
+            resolved: dict[str, tuple[Action, ...]] = {}
+            for term, actions in acts.items():
+                final = tuple(dict.fromkeys(actions))
+                if resolve_precedence and len(final) > 1:
+                    final = self._apply_precedence(state.index, term, final)
+                if final:
+                    resolved[term] = final
+                if len(final) > 1:
+                    self.conflicts.append(
+                        Conflict(state.index, term, final)
+                    )
+            self.actions.append(resolved)
+            self.gotos.append(gotos)
+            self._nt_action_cache.append({})
+
+    def _apply_precedence(
+        self, state: int, terminal: str, actions: tuple[Action, ...]
+    ) -> tuple[Action, ...]:
+        """Resolve shift/reduce pairs using declared precedence.
+
+        Applied pairwise: a shift and a reduce both carrying precedence are
+        collapsed to the winner; on equal level, LEFT keeps the reduce,
+        RIGHT keeps the shift, NONASSOC removes both (syntax error).
+        Entries without declared precedence are left untouched -- the GLR
+        machinery handles them dynamically.
+        """
+        term_prec = self.grammar.precedence_of(terminal)
+        if term_prec is None:
+            return actions
+        shifts = [a for a in actions if a[0] == SHIFT]
+        reduces = [a for a in actions if a[0] == REDUCE]
+        others = [a for a in actions if a[0] not in (SHIFT, REDUCE)]
+        if not shifts or not reduces:
+            return actions
+        kept_reduces: list[Action] = []
+        drop_shift = False
+        drop_all = False
+        for red in reduces:
+            prod = self.grammar.productions[red[1]]
+            prod_prec = self.grammar.production_precedence(prod)
+            if prod_prec is None:
+                kept_reduces.append(red)
+                continue
+            if prod_prec.level > term_prec.level:
+                kept_reduces.append(red)
+                drop_shift = True
+            elif prod_prec.level < term_prec.level:
+                pass  # shift wins; drop this reduce
+            elif term_prec.assoc is Assoc.LEFT:
+                kept_reduces.append(red)
+                drop_shift = True
+            elif term_prec.assoc is Assoc.RIGHT:
+                pass
+            else:  # NONASSOC at equal level: neither action
+                drop_all = True
+        if drop_all:
+            self.nonassoc_errors.add((state, terminal))
+            return tuple(others)
+        result = list(others) + kept_reduces
+        if not drop_shift:
+            result = shifts + result
+        return tuple(result)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def start_state(self) -> int:
+        return 0
+
+    @property
+    def n_states(self) -> int:
+        return len(self.actions)
+
+    @property
+    def is_deterministic(self) -> bool:
+        return not self.conflicts
+
+    def require_deterministic(self) -> None:
+        if self.conflicts:
+            c = self.conflicts[0]
+            raise TableError(
+                f"grammar is not deterministic: {c.kind} conflict in state "
+                f"{c.state} on {c.terminal!r} ({len(self.conflicts)} total)"
+            )
+
+    def action(self, state: int, terminal: str) -> tuple[Action, ...]:
+        """All actions for a terminal lookahead (empty tuple = error)."""
+        return self.actions[state].get(terminal, ())
+
+    def goto(self, state: int, nonterminal: str) -> int | None:
+        return self.gotos[state].get(nonterminal)
+
+    def nt_action(self, state: int, nonterminal: str) -> tuple[Action, ...] | None:
+        """Actions valid for a *nonterminal* lookahead, or None if invalid.
+
+        Valid only when the nonterminal is not nullable and every terminal
+        in its FIRST set selects the identical action tuple (paper section
+        3.2, "precomputing nonterminal reductions").  ``None`` corresponds
+        to Appendix A's "invalid table index": the caller must break the
+        lookahead subtree down.
+        """
+        cache = self._nt_action_cache[state]
+        if nonterminal in cache:
+            return cache[nonterminal]
+        result: tuple[Action, ...] | None
+        if self.analysis.is_nullable(nonterminal):
+            result = None
+        else:
+            first = self.analysis.first_of(nonterminal)
+            candidates = {self.action(state, t) for t in first}
+            if len(candidates) == 1:
+                only = next(iter(candidates))
+                result = only if only else None
+            else:
+                result = None
+        cache[nonterminal] = result
+        return result
+
+    def stats(self) -> dict[str, int]:
+        """Size statistics used by the table-construction benchmarks."""
+        n_entries = sum(len(row) for row in self.actions)
+        n_actions = sum(
+            len(acts) for row in self.actions for acts in row.values()
+        )
+        return {
+            "states": self.n_states,
+            "entries": n_entries,
+            "actions": n_actions,
+            "conflicts": len(self.conflicts),
+            "gotos": sum(len(row) for row in self.gotos),
+        }

@@ -1,0 +1,335 @@
+"""Self-versioning documents: the incremental analysis driver.
+
+A :class:`Document` owns the program text, its token stream, and its
+abstract parse DAG, and keeps all three consistent across edits:
+
+* :meth:`edit` applies a textual change, incrementally relexing the
+  affected region (paper's incremental lexer with lookahead tracking);
+* :meth:`parse` incrementally reparses, reusing unchanged subtrees from
+  the previous version, and commits the new tree;
+* on a syntax error, history-sensitive non-correcting recovery (paper
+  section 4.3, simplified from reference [27]) reverts the most recent
+  offending modifications so that the document always converges to a
+  version with at least one valid parse; reverted edits are reported as
+  *unincorporated*.
+
+The previous tree is the paper's ``lastParsedVersion``; between parses,
+modifications accumulate in token-level bookkeeping and are turned into a
+:class:`~repro.parser.plan.ParsePlan` overlay when parsing starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dag.nodes import Node, ProductionNode, TerminalNode
+from ..dag.traversal import choice_points, unparse
+from ..language import Language
+from ..lexing.incremental import relex
+from ..lexing.tokens import BOS, Token
+from ..parser.iglr import IGLRParser, ParseError, ParseResult, ParseStats
+from ..parser.incremental_lr import IncrementalLRParser
+from ..parser.input_stream import InputStream
+from ..parser.plan import ParsePlan
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One textual modification, invertible for error recovery."""
+
+    offset: int
+    removed_text: str
+    inserted_text: str
+
+    def inverse(self) -> "Edit":
+        return Edit(self.offset, self.inserted_text, self.removed_text)
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of :meth:`Document.parse`."""
+
+    stats: ParseStats
+    ambiguous_regions: int
+    reverted_edits: list[Edit] = field(default_factory=list)
+
+    @property
+    def fully_incorporated(self) -> bool:
+        return not self.reverted_edits
+
+
+class DocumentError(Exception):
+    """Raised when a document cannot reach any valid parse."""
+
+
+class Document:
+    """An editable program with an incrementally maintained parse DAG."""
+
+    def __init__(
+        self,
+        language: Language,
+        text: str = "",
+        engine: str = "iglr",
+        balanced_sequences: bool = False,
+    ) -> None:
+        self.language = language
+        self.text = text
+        self.engine_name = engine
+        # Balanced representation for grammar-declared sequences (paper
+        # 3.4): spines collapse to log-depth SequenceNodes at commit, and
+        # sequence-local edits are repaired by fragment reparse + splice
+        # without running the main parser.
+        self.balanced_sequences = balanced_sequences
+        if engine == "iglr":
+            self._parser = IGLRParser(language.table)
+        elif engine == "lr":
+            self._parser = IncrementalLRParser(language.table)
+        elif engine == "lr-sentential":
+            self._parser = IncrementalLRParser(
+                language.table, mode="sentential-form"
+            )
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+        self.tree: ProductionNode | None = None
+        self.version = 0
+        self.tokens: list[Token] = []
+        self.last_result: ParseResult | None = None
+        # Token object -> its terminal node in the current tree.
+        self._token_nodes: dict[int, tuple[Token, TerminalNode]] = {}
+        # Terminal nodes whose tokens left the stream since last parse.
+        self._removed_nodes: list[TerminalNode] = []
+        self._edit_log: list[Edit] = []
+        self._fresh_nodes: dict[int, TerminalNode] = {}
+        self._bos_node = TerminalNode(Token(BOS, ""))
+
+    # -- editing ------------------------------------------------------------
+
+    def edit(self, offset: int, removed_len: int, inserted: str) -> None:
+        """Replace ``removed_len`` characters at ``offset`` by ``inserted``.
+
+        The token stream is incrementally relexed immediately; the parse
+        DAG is updated on the next :meth:`parse`.
+        """
+        if offset < 0 or offset + removed_len > len(self.text):
+            raise ValueError("edit range outside document")
+        removed_text = self.text[offset : offset + removed_len]
+        self._edit_log.append(Edit(offset, removed_text, inserted))
+        self._apply_edit(offset, removed_len, inserted)
+
+    def _apply_edit(self, offset: int, removed_len: int, inserted: str) -> None:
+        self.text = (
+            self.text[:offset]
+            + inserted
+            + self.text[offset + removed_len :]
+        )
+        if self.tree is None:
+            return  # first parse will lex from scratch
+        result = relex(
+            self.language.lexer,
+            self.tokens,
+            self.text,
+            offset,
+            removed_len,
+            len(inserted),
+        )
+        self.tokens = result.tokens
+        for token in result.removed:
+            entry = self._token_nodes.pop(id(token), None)
+            if entry is not None:
+                self._removed_nodes.append(entry[1])
+            # Tokens without nodes were fresh since the last parse; they
+            # simply vanish.
+
+    def insert(self, offset: int, text: str) -> None:
+        """Convenience: insert text."""
+        self.edit(offset, 0, text)
+
+    def delete(self, offset: int, length: int) -> None:
+        """Convenience: delete text."""
+        self.edit(offset, length, "")
+
+    # -- parsing ----------------------------------------------------------------
+
+    def parse(self, recover: bool = True) -> AnalysisReport:
+        """(Re)parse the document, committing the new version.
+
+        With ``recover=True`` (default), a syntax error triggers
+        history-sensitive recovery: the most recent edits are reverted
+        one at a time until some prefix of the modification history
+        parses; the reverted edits are reported as unincorporated.  With
+        ``recover=False`` the :class:`~repro.parser.iglr.ParseError`
+        propagates and the document keeps its previous version.
+        """
+        if self.balanced_sequences and self.tree is not None:
+            repaired = self._attempt_sequence_repair()
+            if repaired is not None:
+                return repaired
+        try:
+            result = self._attempt_parse()
+        except ParseError as error:
+            if not recover or self.tree is None or not self._edit_log:
+                raise
+            reverted = self._recover()
+            report = self.parse(recover=False)
+            report.reverted_edits.extend(reverted)
+            return report
+        self._commit(result)
+        return AnalysisReport(
+            stats=result.stats,
+            ambiguous_regions=len(choice_points(self.tree)),
+        )
+
+    def _attempt_parse(self) -> ParseResult:
+        if self.tree is None:
+            self.tokens = self.language.lexer.lex(self.text)
+            terminals = [TerminalNode(tok) for tok in self.tokens]
+            self._fresh_nodes = {
+                id(tok): node for tok, node in zip(self.tokens, terminals)
+            }
+            stream = InputStream(list(terminals))
+            return self._parser.parse(stream)
+        plan, fresh_nodes = self._build_plan()
+        self._fresh_nodes = fresh_nodes
+        initial: list[Node] = [self.tree.kids[1], self.tree.kids[2]]
+        stream = InputStream(initial, plan)
+        return self._parser.parse(stream)
+
+    def _build_plan(self) -> tuple[ParsePlan, dict[int, TerminalNode]]:
+        """Convert accumulated token changes into a modification overlay."""
+        plan = ParsePlan()
+        for node in self._removed_nodes:
+            plan.mark_deleted(node)
+        fresh_nodes: dict[int, TerminalNode] = {}
+        run: list[TerminalNode] = []
+        for token in self.tokens:
+            if id(token) in self._token_nodes:
+                if run:
+                    plan.add_pending_before(self._token_nodes[id(token)][1], run)
+                    run = []
+            else:
+                node = TerminalNode(token)
+                fresh_nodes[id(token)] = node
+                run.append(node)
+        if run:
+            plan.add_pending_at_end(run)
+        return plan, fresh_nodes
+
+    def _attempt_sequence_repair(self) -> AnalysisReport | None:
+        """The paper-3.4 fast path: splice reparsed elements in place."""
+        from ..parser.sequences import attempt_sequence_repair
+
+        outcome = attempt_sequence_repair(self)
+        if outcome is None:
+            return None
+        self._removed_nodes = []
+        self._edit_log = []
+        self.version += 1
+        self.last_result = ParseResult(
+            self.tree.kids[1], outcome.stats, outcome.new_nodes
+        )
+        return AnalysisReport(
+            stats=outcome.stats,
+            ambiguous_regions=len(choice_points(self.tree)),
+        )
+
+    def _commit(self, result: ParseResult) -> None:
+        for node in result.new_nodes:
+            if isinstance(node, ProductionNode):
+                node.adopt_kids()
+        if self.balanced_sequences:
+            from ..dag.sequences import SequenceNode
+            from ..parser.sequences import collapse_sequences
+
+            replacements = collapse_sequences(
+                result.new_nodes, self.language.grammar
+            )
+            replaced_root = replacements.get(id(result.root))
+            if replaced_root is not None:
+                result.root = replaced_root
+            result.new_nodes.extend(replacements.values())
+            # Sequence nodes synthesized during breakdown defer their
+            # internal adoption until they are known to be in the
+            # committed tree; fix the spines of any sequence reachable
+            # as a child of new structure.
+            for node in result.new_nodes:
+                if isinstance(node, ProductionNode):
+                    for kid in node.kids:
+                        if isinstance(kid, SequenceNode):
+                            kid._adopt_spine()
+            if isinstance(result.root, SequenceNode):
+                result.root._adopt_spine()
+        eos_entry = self._token_nodes.get(id(self.tokens[-1]))
+        if eos_entry is not None:
+            eos_node = eos_entry[1]
+        else:
+            eos_node = self._fresh_nodes[id(self.tokens[-1])]
+        root = ProductionNode(
+            self.language.root_production,
+            (self._bos_node, result.root, eos_node),
+        )
+        root.adopt_kids()
+        self.tree = root
+        # Registry maintenance: drop stale entries, add fresh terminals.
+        registry: dict[int, tuple[Token, TerminalNode]] = {}
+        for token in self.tokens:
+            entry = self._token_nodes.get(id(token))
+            node = entry[1] if entry else self._fresh_nodes[id(token)]
+            registry[id(token)] = (token, node)
+        self._token_nodes = registry
+        self._removed_nodes = []
+        self._edit_log = []
+        self._fresh_nodes = {}
+        self.version += 1
+        self.last_result = result
+
+    # -- error recovery -----------------------------------------------------------
+
+    def _recover(self) -> list[Edit]:
+        """Revert recent edits until the document parses (paper 4.3).
+
+        Works backwards through the modification history; each reverted
+        edit is undone textually (which re-runs the incremental lexer) so
+        the remaining prefix of the history is analyzed on the next
+        attempt.  Returns the reverted edits, most recent first.
+        """
+        reverted: list[Edit] = []
+        while self._edit_log:
+            edit = self._edit_log.pop()
+            inverse = edit.inverse()
+            self._apply_edit(
+                inverse.offset, len(inverse.removed_text), inverse.inserted_text
+            )
+            reverted.append(edit)
+            try:
+                self._attempt_parse()
+            except ParseError:
+                continue
+            break
+        return reverted
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def body(self) -> Node | None:
+        """The start-symbol node of the current tree (None before parse)."""
+        return self.tree.kids[1] if self.tree is not None else None
+
+    @property
+    def is_ambiguous(self) -> bool:
+        return self.tree is not None and bool(choice_points(self.tree))
+
+    def source_text(self) -> str:
+        """Reconstruct text from the tree (must equal ``self.text``)."""
+        if self.tree is None:
+            return self.text
+        return unparse(self.tree)
+
+    def terminal_for_offset(self, offset: int) -> TerminalNode | None:
+        """The terminal node whose span contains ``offset``."""
+        pos = 0
+        for token in self.tokens:
+            if pos <= offset < pos + token.width:
+                entry = self._token_nodes.get(id(token))
+                return entry[1] if entry else None
+            pos += token.width
+        return None

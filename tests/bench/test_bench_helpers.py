@@ -1,0 +1,110 @@
+"""Tests for the benchmark harness helpers."""
+
+import pytest
+
+from repro import Document
+from repro.bench import (
+    apply_and_cancel,
+    bucketize,
+    fit_loglinear,
+    fit_powerlaw,
+    numeric_token_sites,
+    parse_work,
+    render_histogram,
+    render_table,
+    self_cancelling_token_edits,
+    time_fn,
+)
+from repro.langs.calc import calc_language
+
+
+class TestMeasure:
+    def test_time_fn_counts_runs(self):
+        calls = []
+        timing = time_fn(lambda: calls.append(1), runs=3)
+        assert timing.runs == 3 and len(calls) == 3
+        assert timing.per_run <= timing.seconds
+
+    def test_parse_work(self):
+        doc = Document(calc_language(), "x = 1;")
+        report = doc.parse()
+        assert parse_work(report.stats) == (
+            report.stats.shifts
+            + report.stats.reductions
+            + report.stats.breakdowns
+        )
+
+    def test_fit_powerlaw_linear(self):
+        xs = [10.0, 20.0, 40.0, 80.0]
+        assert abs(fit_powerlaw(xs, [2 * x for x in xs]) - 1.0) < 1e-6
+
+    def test_fit_powerlaw_constant(self):
+        xs = [10.0, 20.0, 40.0]
+        assert abs(fit_powerlaw(xs, [5.0, 5.0, 5.0])) < 1e-6
+
+    def test_fit_powerlaw_quadratic(self):
+        xs = [2.0, 4.0, 8.0, 16.0]
+        assert abs(fit_powerlaw(xs, [x * x for x in xs]) - 2.0) < 1e-6
+
+    def test_fit_loglinear(self):
+        import math
+
+        xs = [2.0, 4.0, 8.0, 16.0]
+        ys = [3 + 2 * math.log2(x) for x in xs]
+        a, b = fit_loglinear(xs, ys)
+        assert abs(a - 3) < 1e-6 and abs(b - 2) < 1e-6
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["col", "n"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[2] and "bb" in lines[-1]
+
+    def test_render_table_floats(self):
+        text = render_table("T", ["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_render_histogram(self):
+        text = render_histogram("H", [("low", 10), ("high", 0)])
+        assert "#" in text and "low" in text
+
+    def test_bucketize(self):
+        buckets = bucketize([0.05, 0.15, 0.95], [0.0, 0.1, 0.2])
+        assert buckets[0][1] == 1 and buckets[1][1] == 1
+        assert buckets[-1] == (">=0.20", 1)
+
+
+class TestWorkloads:
+    def make_doc(self):
+        doc = Document(calc_language(), "x = 1; y = 22; z = 333;")
+        doc.parse()
+        return doc
+
+    def test_numeric_token_sites(self):
+        doc = self.make_doc()
+        sites = numeric_token_sites(doc)
+        assert len(sites) == 3
+        offset, length = sites[1]
+        assert doc.text[offset : offset + length] == "22"
+
+    def test_self_cancelling_edits_deterministic(self):
+        doc = self.make_doc()
+        a = self_cancelling_token_edits(doc, 4, seed=1)
+        b = self_cancelling_token_edits(doc, 4, seed=1)
+        assert a == b
+
+    def test_apply_and_cancel_roundtrip(self):
+        doc = self.make_doc()
+        before = doc.text
+        edit = self_cancelling_token_edits(doc, 1, seed=2)[0]
+        apply_and_cancel(doc, edit)
+        assert doc.text == before
+        assert doc.source_text() == before
+
+    def test_no_numeric_tokens_raises(self):
+        doc = Document(calc_language(), "x = y;")
+        doc.parse()
+        with pytest.raises(ValueError):
+            self_cancelling_token_edits(doc, 1)

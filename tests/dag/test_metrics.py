@@ -1,0 +1,79 @@
+"""Unit tests for DAG space metrics."""
+
+from repro import Document, Language
+from repro.dag import (
+    ambiguity_overhead_percent,
+    measure_disambiguated,
+    measure_space,
+)
+from repro.dag.nodes import ProductionNode, SymbolNode, TerminalNode
+from repro.grammar import Production
+from repro.lexing import Token
+
+AMBIG = Language.from_dsl("%token NUM /[0-9]+/\ne : e '+' e | NUM ;")
+
+
+def parse(text):
+    doc = Document(AMBIG, text)
+    doc.parse()
+    return doc.tree
+
+
+class TestMeasureSpace:
+    def test_counts_unambiguous_tree(self):
+        tree = parse("1+2")
+        report = measure_space(tree)
+        assert report.symbol_nodes == 0
+        assert report.terminal_nodes == 5  # bos, 1, +, 2, eos
+        assert report.nodes > report.terminal_nodes
+
+    def test_shared_nodes_counted_once(self):
+        tree = parse("1+2+3")
+        report = measure_space(tree)
+        # Terminals are shared between the two interpretations.
+        assert report.terminal_nodes == 7
+
+    def test_state_overhead_is_positive(self):
+        report = measure_space(parse("1+2"))
+        assert report.bytes_with_states > report.bytes_without_states
+        assert 0 < report.state_overhead_percent < 50
+
+    def test_ambiguous_tree_has_symbol_nodes(self):
+        report = measure_space(parse("1+2+3"))
+        assert report.symbol_nodes == 1
+
+
+class TestMeasureDisambiguated:
+    def test_choice_nodes_vanish(self):
+        tree = parse("1+2+3")
+        report = measure_disambiguated(tree)
+        assert report.symbol_nodes == 0
+        assert report.nodes < measure_space(tree).nodes
+
+    def test_respects_selection(self):
+        tree = parse("1+2+3")
+        from repro.dag import choice_points
+
+        choice = choice_points(tree)[0]
+        first, second = choice.alternatives
+        first.set_annotation("filtered", True)
+        selected_report = measure_disambiguated(tree)
+        # Chosen tree excludes the filtered alternative's private nodes.
+        assert selected_report.nodes <= measure_space(tree).nodes
+
+    def test_unambiguous_matches_full_measure(self):
+        tree = parse("1+2")
+        assert measure_disambiguated(tree).nodes == measure_space(tree).nodes
+
+
+class TestOverheadPercent:
+    def test_zero_for_unambiguous(self):
+        assert ambiguity_overhead_percent(parse("1+2")) == 0.0
+
+    def test_positive_for_ambiguous(self):
+        assert ambiguity_overhead_percent(parse("1+2+3")) > 0.0
+
+    def test_grows_with_ambiguity(self):
+        small = ambiguity_overhead_percent(parse("1+2+3"))
+        large = ambiguity_overhead_percent(parse("1+2+3+4+5"))
+        assert large > small

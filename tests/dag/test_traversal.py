@@ -1,0 +1,141 @@
+"""Unit tests for DAG traversal helpers."""
+
+import pytest
+
+from repro.dag import (
+    ancestors_ending_at,
+    choice_points,
+    dump_tree,
+    first_terminal,
+    last_terminal,
+    next_terminal,
+    previous_terminal,
+    unparse,
+    yield_tokens,
+)
+from repro.dag.nodes import ProductionNode, SymbolNode, TerminalNode
+from repro.grammar import Production
+from repro.lexing import Token
+
+
+def term(text, trivia=""):
+    return TerminalNode(Token(text, text, trivia=trivia))
+
+
+def prod(lhs, *kids, rhs=None):
+    node = ProductionNode(
+        Production(0, lhs, rhs if rhs is not None else tuple(k.symbol for k in kids)),
+        tuple(kids),
+    )
+    node.adopt_kids()
+    return node
+
+
+@pytest.fixture
+def tree():
+    # S( T(a b) U() V(c) )  with U null-yield
+    a, b, c = term("a", trivia=" "), term("b"), term("c")
+    t = prod("T", a, b)
+    u = prod("U", rhs=())
+    v = prod("V", c)
+    s = prod("S", t, u, v)
+    return s, t, u, v, a, b, c
+
+
+class TestYieldAndText:
+    def test_yield_tokens(self, tree):
+        s, *_rest, a, b, c = tree
+        assert [t.text for t in yield_tokens(s)] == ["a", "b", "c"]
+
+    def test_unparse_includes_trivia(self, tree):
+        s = tree[0]
+        assert unparse(s) == " abc"
+
+    def test_first_terminal(self, tree):
+        s, t, u, v, a, b, c = tree
+        assert first_terminal(s) is a
+        assert first_terminal(u) is None
+
+    def test_last_terminal(self, tree):
+        s, t, u, v, a, b, c = tree
+        assert last_terminal(s) is c
+        assert last_terminal(t) is b
+        assert last_terminal(u) is None
+
+
+class TestNeighbourTerminals:
+    def test_previous_terminal(self, tree):
+        s, t, u, v, a, b, c = tree
+        assert previous_terminal(c) is b
+        assert previous_terminal(b) is a
+        assert previous_terminal(a) is None
+
+    def test_previous_skips_null_yield_sibling(self, tree):
+        s, t, u, v, a, b, c = tree
+        assert previous_terminal(v) is b
+
+    def test_previous_with_skip_predicate(self, tree):
+        s, t, u, v, a, b, c = tree
+        assert previous_terminal(c, skip=lambda n: n is b) is a
+
+    def test_next_terminal(self, tree):
+        s, t, u, v, a, b, c = tree
+        assert next_terminal(a) is b
+        assert next_terminal(b) is c
+        assert next_terminal(c) is None
+
+    def test_next_from_subtree(self, tree):
+        s, t, u, v, a, b, c = tree
+        assert next_terminal(t) is c
+        assert next_terminal(u) is c
+
+
+class TestAncestorsEndingAt:
+    def test_rightmost_terminal_chains_to_root(self, tree):
+        s, t, u, v, a, b, c = tree
+        assert list(ancestors_ending_at(c)) == [v, s]
+
+    def test_inner_terminal_stops_at_subtree(self, tree):
+        s, t, u, v, a, b, c = tree
+        # b ends T, but S continues with V, so the chain stops at T.
+        assert list(ancestors_ending_at(b)) == [t]
+
+    def test_non_final_terminal_has_no_ancestors(self, tree):
+        s, t, u, v, a, b, c = tree
+        assert list(ancestors_ending_at(a)) == []
+
+    def test_passes_through_symbol_node(self):
+        a = term("a")
+        alt = prod("S", a)
+        choice = SymbolNode(alt)
+        root = prod("R", choice)
+        chain = list(ancestors_ending_at(a))
+        assert chain == [alt, choice, root]
+
+
+class TestChoicePoints:
+    def test_finds_live_choices(self):
+        alt1, alt2 = prod("S", term("a")), prod("S", term("a"))
+        choice = SymbolNode(alt1)
+        choice.add_choice(alt2)
+        root = prod("R", choice)
+        assert choice_points(root) == [choice]
+
+    def test_collapsed_choice_not_reported(self):
+        choice = SymbolNode(prod("S", term("a")))
+        root = prod("R", choice)
+        assert choice_points(root) == []
+
+
+class TestDump:
+    def test_dump_shows_structure(self, tree):
+        text = dump_tree(tree[0])
+        assert "S" in text and "'a'" in text
+
+    def test_dump_depth_limit(self, tree):
+        text = dump_tree(tree[0], max_depth=0)
+        assert text == "S"
+
+    def test_dump_marks_choices(self):
+        choice = SymbolNode(prod("S", term("a")))
+        assert "<choice S>" in dump_tree(choice)

@@ -1,0 +1,150 @@
+"""Unit and property tests for nullable / FIRST / FOLLOW."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar import EOF, Grammar, GrammarAnalysis
+
+
+def analyze(rules, start):
+    return GrammarAnalysis(Grammar.from_rules(rules, start=start).augmented())
+
+
+class TestNullable:
+    def test_direct_epsilon(self):
+        a = analyze({"S": [["a"], []]}, "S")
+        assert a.is_nullable("S")
+
+    def test_transitive_epsilon(self):
+        a = analyze({"S": [["A", "B"]], "A": [[]], "B": [["A"]]}, "S")
+        assert a.is_nullable("S")
+        assert a.is_nullable("B")
+
+    def test_terminal_not_nullable(self):
+        a = analyze({"S": [["a"]]}, "S")
+        assert not a.is_nullable("a")
+        assert not a.is_nullable("S")
+
+    def test_sequence_nullable(self):
+        a = analyze({"S": [["A", "B"]], "A": [[]], "B": [[]]}, "S")
+        assert a.sequence_nullable(["A", "B"])
+        assert not a.sequence_nullable(["A", "S", "a"])
+
+
+class TestFirst:
+    def test_first_of_terminal_is_itself(self):
+        a = analyze({"S": [["a"]]}, "S")
+        assert a.first_of("a") == {"a"}
+
+    def test_first_through_nullable_prefix(self):
+        a = analyze({"S": [["A", "b"]], "A": [["a"], []]}, "S")
+        assert a.first_of("S") == {"a", "b"}
+
+    def test_first_of_left_recursive(self):
+        a = analyze(
+            {"E": [["E", "+", "T"], ["T"]], "T": [["num"], ["(", "E", ")"]]},
+            "E",
+        )
+        assert a.first_of("E") == {"num", "("}
+
+    def test_first_of_sequence_with_tail(self):
+        a = analyze({"S": [["A"]], "A": [[]]}, "S")
+        assert a.first_of_sequence(["A"], tail=["x"]) == {"x"}
+
+    def test_first_of_sequence_stops_at_non_nullable(self):
+        a = analyze({"S": [["A", "b"]], "A": [["a"], []]}, "S")
+        assert a.first_of_sequence(["A", "b"], tail=["z"]) == {"a", "b"}
+
+
+class TestFollow:
+    def test_follow_of_start_contains_eof(self):
+        a = analyze({"S": [["a"]]}, "S")
+        assert EOF in a.follow_of("S")
+
+    def test_follow_from_adjacent_symbol(self):
+        a = analyze({"S": [["A", "b"]], "A": [["a"]]}, "S")
+        assert a.follow_of("A") == {"b"}
+
+    def test_follow_through_nullable_suffix(self):
+        a = analyze(
+            {"S": [["A", "B", "c"]], "A": [["a"]], "B": [["b"], []]},
+            "S",
+        )
+        assert a.follow_of("A") == {"b", "c"}
+
+    def test_follow_inherits_from_lhs(self):
+        a = analyze({"S": [["A", "x"]], "A": [["B"]], "B": [["b"]]}, "S")
+        assert "x" in a.follow_of("B")
+
+
+# -- property-based tests ---------------------------------------------------
+
+_SYMS = ["A", "B", "C", "D"]
+_TERMS = ["a", "b", "c"]
+
+
+@st.composite
+def random_grammar(draw):
+    """Random small grammars over fixed symbol pools, always rooted at A."""
+    rules: dict[str, list[list[str]]] = {}
+    n_nts = draw(st.integers(min_value=1, max_value=4))
+    nts = _SYMS[:n_nts]
+    for nt in nts:
+        n_alts = draw(st.integers(min_value=1, max_value=3))
+        alts = []
+        for _ in range(n_alts):
+            length = draw(st.integers(min_value=0, max_value=4))
+            alts.append(
+                [draw(st.sampled_from(nts + _TERMS)) for _ in range(length)]
+            )
+        rules[nt] = alts
+    return Grammar.from_rules(rules, start="A")
+
+
+def _derives_epsilon(grammar: Grammar, symbol: str, fuel: int = 2000) -> bool:
+    """Reference nullability check by bounded search."""
+    nullable: set[str] = set()
+    for _ in range(fuel):
+        added = False
+        for prod in grammar.productions:
+            if prod.lhs not in nullable and all(
+                s in nullable for s in prod.rhs
+            ):
+                nullable.add(prod.lhs)
+                added = True
+        if not added:
+            break
+    return symbol in nullable
+
+
+@given(random_grammar())
+@settings(max_examples=60, deadline=None)
+def test_nullable_matches_reference(grammar):
+    analysis = GrammarAnalysis(grammar)
+    for nt in grammar.nonterminals:
+        assert analysis.is_nullable(nt) == _derives_epsilon(grammar, nt)
+
+
+@given(random_grammar())
+@settings(max_examples=60, deadline=None)
+def test_first_contains_only_terminals(grammar):
+    analysis = GrammarAnalysis(grammar)
+    for nt in grammar.nonterminals:
+        assert analysis.first_of(nt) <= grammar.terminals
+
+
+@given(random_grammar())
+@settings(max_examples=60, deadline=None)
+def test_first_covers_leading_terminals_of_productions(grammar):
+    analysis = GrammarAnalysis(grammar)
+    for prod in grammar.productions:
+        if prod.rhs and prod.rhs[0] in grammar.terminals:
+            assert prod.rhs[0] in analysis.first_of(prod.lhs)
+
+
+@given(random_grammar())
+@settings(max_examples=60, deadline=None)
+def test_follow_contains_only_terminals_or_eof(grammar):
+    analysis = GrammarAnalysis(grammar.augmented())
+    for nt in grammar.nonterminals:
+        assert analysis.follow_of(nt) <= grammar.terminals | {EOF}

@@ -1,0 +1,143 @@
+"""Unit tests for the CFG model."""
+
+import pytest
+
+from repro.grammar import (
+    EOF,
+    START,
+    Assoc,
+    Grammar,
+    GrammarError,
+    PrecedenceLevel,
+    Production,
+    dump_grammar,
+)
+
+
+def simple_grammar() -> Grammar:
+    return Grammar.from_rules(
+        {
+            "E": [["E", "+", "T"], ["T"]],
+            "T": [["T", "*", "F"], ["F"]],
+            "F": [["(", "E", ")"], ["num"]],
+        },
+        start="E",
+    )
+
+
+class TestGrammarConstruction:
+    def test_from_rules_infers_terminals(self):
+        g = simple_grammar()
+        assert g.terminals == {"+", "*", "(", ")", "num"}
+        assert g.nonterminals == {"E", "T", "F"}
+
+    def test_start_symbol_must_have_productions(self):
+        with pytest.raises(GrammarError):
+            Grammar.from_rules({"E": [["num"]]}, start="X")
+
+    def test_empty_grammar_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar([], ["a"], "S")
+
+    def test_unknown_rhs_symbol_rejected(self):
+        prods = [Production(0, "S", ("a", "Q"))]
+        with pytest.raises(GrammarError):
+            Grammar(prods, ["a"], "S")
+
+    def test_terminal_nonterminal_overlap_rejected(self):
+        prods = [Production(0, "S", ("a",))]
+        with pytest.raises(GrammarError):
+            Grammar(prods, ["a", "S"], "S")
+
+    def test_indices_must_be_sequential(self):
+        prods = [Production(1, "S", ("a",))]
+        with pytest.raises(GrammarError):
+            Grammar(prods, ["a"], "S")
+
+    def test_productions_for(self):
+        g = simple_grammar()
+        assert [p.rhs for p in g.productions_for("F")] == [
+            ("(", "E", ")"),
+            ("num",),
+        ]
+
+    def test_productions_for_unknown_raises(self):
+        with pytest.raises(GrammarError):
+            simple_grammar().productions_for("nope")
+
+    def test_is_terminal_nonterminal(self):
+        g = simple_grammar()
+        assert g.is_terminal("num") and not g.is_terminal("E")
+        assert g.is_nonterminal("E") and not g.is_nonterminal("num")
+
+    def test_symbols_iterates_all(self):
+        g = simple_grammar()
+        assert set(g.symbols()) == g.terminals | g.nonterminals
+
+
+class TestAugmentation:
+    def test_augmented_adds_start_production(self):
+        g = simple_grammar().augmented()
+        assert g.start == START
+        assert g.productions[0].lhs == START
+        assert g.productions[0].rhs == ("E",)
+        assert EOF in g.terminals
+
+    def test_augmented_is_idempotent(self):
+        g = simple_grammar().augmented()
+        assert g.augmented() is g
+
+    def test_augmented_preserves_flags(self):
+        prods = [
+            Production(0, "S", ("items",)),
+            Production(1, "items", (), is_sequence=True),
+            Production(2, "items", ("items", "x"), is_sequence=True, tags=("t",)),
+        ]
+        g = Grammar(prods, ["x"], "S").augmented()
+        assert g.productions[2].is_sequence
+        assert g.productions[3].tags == ("t",)
+
+
+class TestPrecedence:
+    def grammar_with_prec(self) -> Grammar:
+        prec = [
+            PrecedenceLevel(1, Assoc.LEFT, ("+",)),
+            PrecedenceLevel(2, Assoc.LEFT, ("*",)),
+            PrecedenceLevel(3, Assoc.RIGHT, ("NEG",)),
+        ]
+        prods = [
+            Production(0, "E", ("E", "+", "E")),
+            Production(1, "E", ("E", "*", "E")),
+            Production(2, "E", ("-", "E"), prec_symbol="NEG"),
+            Production(3, "E", ("num",)),
+        ]
+        return Grammar(prods, ["+", "*", "-", "num", "NEG"], "E", precedence=prec)
+
+    def test_precedence_of_terminal(self):
+        g = self.grammar_with_prec()
+        assert g.precedence_of("*").level == 2
+        assert g.precedence_of("num") is None
+
+    def test_production_precedence_rightmost_terminal(self):
+        g = self.grammar_with_prec()
+        assert g.production_precedence(g.productions[0]).symbols == ("+",)
+
+    def test_production_precedence_prec_override(self):
+        g = self.grammar_with_prec()
+        assert g.production_precedence(g.productions[2]).assoc == Assoc.RIGHT
+
+    def test_production_without_precedence(self):
+        g = self.grammar_with_prec()
+        assert g.production_precedence(g.productions[3]) is None
+
+
+class TestDump:
+    def test_dump_lists_all_productions(self):
+        g = simple_grammar()
+        text = dump_grammar(g)
+        assert "E -> E + T" in text
+        assert text.count("\n") >= len(g.productions)
+
+    def test_production_str_epsilon(self):
+        p = Production(0, "A", ())
+        assert "$eps" in str(p)

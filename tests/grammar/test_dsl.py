@@ -1,0 +1,132 @@
+"""Tests for the textual grammar DSL."""
+
+import pytest
+
+from repro.grammar import Assoc, DslError, parse_grammar, parse_grammar_spec
+
+CALC = r"""
+%token NUM /[0-9]+/
+%token ID  /[a-zA-Z_][a-zA-Z0-9_]*/
+%ignore /[ \t\n]+/
+%left '+' '-'
+%left '*' '/'
+%start program
+
+program : stmt* ;
+stmt    : expr ';'          @expr_stmt
+        | ID '=' expr ';'   @assign
+        ;
+expr    : expr '+' expr | expr '-' expr
+        | expr '*' expr | expr '/' expr
+        | '(' expr ')' | NUM | ID
+        ;
+"""
+
+
+class TestDirectives:
+    def test_token_patterns_collected(self):
+        spec = parse_grammar_spec(CALC)
+        assert ("NUM", "[0-9]+") in spec.token_defs
+
+    def test_ignore_patterns_collected(self):
+        spec = parse_grammar_spec(CALC)
+        assert spec.ignore_patterns == ["[ \\t\\n]+"]
+
+    def test_literals_become_keywords(self):
+        spec = parse_grammar_spec(CALC)
+        assert "+" in spec.keywords and ";" in spec.keywords
+
+    def test_start_symbol(self):
+        assert parse_grammar(CALC).start == "program"
+
+    def test_start_defaults_to_first_rule(self):
+        g = parse_grammar("s : 'a' ;")
+        assert g.start == "s"
+
+    def test_precedence_levels_in_order(self):
+        g = parse_grammar(CALC)
+        plus = g.precedence_of("+")
+        star = g.precedence_of("*")
+        assert plus.assoc == Assoc.LEFT
+        assert star.level > plus.level
+
+    def test_nonassoc(self):
+        g = parse_grammar("%nonassoc '<'\ns : s '<' s | 'a' ;")
+        assert g.precedence_of("<").assoc == Assoc.NONASSOC
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(DslError):
+            parse_grammar("%bogus x\ns : 'a' ;")
+
+    def test_empty_precedence_rejected(self):
+        with pytest.raises(DslError):
+            parse_grammar("%left\ns : 'a' ;")
+
+
+class TestRules:
+    def test_tags_attached(self):
+        g = parse_grammar(CALC)
+        tagged = [p for p in g.productions if p.tags]
+        assert {t for p in tagged for t in p.tags} == {"expr_stmt", "assign"}
+
+    def test_star_generates_sequence_production(self):
+        g = parse_grammar(CALC)
+        assert any(p.is_sequence for p in g.productions)
+
+    def test_undeclared_identifiers_become_terminals(self):
+        g = parse_grammar("s : FOO 'x' ;")
+        assert "FOO" in g.terminals
+
+    def test_literal_escape(self):
+        g = parse_grammar(r"s : '\'' ;")
+        assert "'" in g.terminals
+
+    def test_prec_override(self):
+        g = parse_grammar(
+            "%left '-'\n%right NEG\n"
+            "e : e '-' e | '-' e %prec NEG | 'n' ;"
+        )
+        neg = [p for p in g.productions if p.prec_symbol == "NEG"]
+        assert len(neg) == 1 and neg[0].rhs == ("-", "e")
+
+    def test_separated_list(self):
+        g = parse_grammar("args : 'x' ** ',' ;")
+        assert "," in g.terminals
+        assert any("," in p.rhs for p in g.productions)
+
+    def test_optional(self):
+        g = parse_grammar("s : 'a' 'b'? ;")
+        assert any(p.is_epsilon for p in g.productions)
+
+    def test_group_alternation(self):
+        g = parse_grammar("s : ('a' | 'b' 'c') 'd' ;")
+        aux = g.productions[0].rhs[0]
+        assert sorted(p.rhs for p in g.productions_for(aux)) == [("a",), ("b", "c")]
+
+    def test_comments_skipped(self):
+        g = parse_grammar("# a comment\ns : 'a' ; # trailing\n")
+        assert g.start == "s"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(DslError):
+            parse_grammar("s : 'a'")
+
+    def test_unexpected_character(self):
+        with pytest.raises(DslError) as exc:
+            parse_grammar("s : 'a' ;\n^")
+        assert "line 2" in str(exc.value)
+
+    def test_empty_grammar(self):
+        with pytest.raises(DslError):
+            parse_grammar("%start s\n")
+
+    def test_unclosed_group(self):
+        with pytest.raises(DslError):
+            parse_grammar("s : ( 'a' ;")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(DslError) as exc:
+            parse_grammar("s : 'a' ;\nt : ;;\n")
+        assert exc.value.line == 2

@@ -1,0 +1,124 @@
+"""Tests for regular-right-part expansion."""
+
+import pytest
+
+from repro.grammar import (
+    Alt,
+    ExtendedAlternative,
+    ExtendedRule,
+    GrammarError,
+    Opt,
+    Plus,
+    Seq,
+    Star,
+    Sym,
+    expand_extended_rules,
+)
+
+
+def expand(rules, terminals, start):
+    return expand_extended_rules(rules, set(terminals), start)
+
+
+def rule(lhs, *alts):
+    return ExtendedRule(lhs, [ExtendedAlternative(a) for a in alts])
+
+
+class TestStar:
+    def test_star_creates_left_recursive_aux(self):
+        g = expand([rule("S", Star(Sym("x")))], {"x"}, "S")
+        aux = g.productions[0].rhs[0]
+        aux_prods = g.productions_for(aux)
+        rhss = sorted(p.rhs for p in aux_prods)
+        assert rhss == [(), (aux, "x")]
+        assert all(p.is_sequence for p in aux_prods)
+
+    def test_star_aux_name_cannot_collide(self):
+        g = expand([rule("S", Star(Sym("x")))], {"x"}, "S")
+        aux = g.productions[0].rhs[0]
+        assert "@" in aux
+
+    def test_separated_star_allows_empty(self):
+        g = expand([rule("S", Star(Sym("x"), separator=Sym(",")))], {"x", ","}, "S")
+        aux = g.productions[0].rhs[0]
+        assert any(p.is_epsilon for p in g.productions_for(aux))
+
+    def test_separated_star_spine_uses_separator(self):
+        g = expand([rule("S", Star(Sym("x"), separator=Sym(",")))], {"x", ","}, "S")
+        seps = [p for p in g.productions if "," in p.rhs]
+        assert seps and all(p.is_sequence for p in seps)
+
+
+class TestPlus:
+    def test_plus_has_no_epsilon(self):
+        g = expand([rule("S", Plus(Sym("x")))], {"x"}, "S")
+        aux = g.productions[0].rhs[0]
+        assert not any(p.is_epsilon for p in g.productions_for(aux))
+
+    def test_plus_base_and_recursive_cases(self):
+        g = expand([rule("S", Plus(Sym("x")))], {"x"}, "S")
+        aux = g.productions[0].rhs[0]
+        rhss = sorted(p.rhs for p in g.productions_for(aux))
+        assert rhss == [(aux, "x"), ("x",)]
+
+    def test_separated_plus(self):
+        g = expand([rule("S", Plus(Sym("x"), separator=Sym(";")))], {"x", ";"}, "S")
+        aux = g.productions[0].rhs[0]
+        rhss = sorted(p.rhs for p in g.productions_for(aux))
+        assert (aux, ";", "x") in rhss and ("x",) in rhss
+
+
+class TestOptAndGroups:
+    def test_opt_expands_to_two_alternatives(self):
+        g = expand([rule("S", Seq((Sym("a"), Opt(Sym("b")))))], {"a", "b"}, "S")
+        aux = g.productions[0].rhs[1]
+        rhss = sorted(p.rhs for p in g.productions_for(aux))
+        assert rhss == [(), ("b",)]
+
+    def test_alt_group_expands_to_aux_nonterminal(self):
+        g = expand(
+            [rule("S", Seq((Sym("a"), Alt((Sym("b"), Sym("c"))))))],
+            {"a", "b", "c"},
+            "S",
+        )
+        aux = g.productions[0].rhs[1]
+        rhss = sorted(p.rhs for p in g.productions_for(aux))
+        assert rhss == [("b",), ("c",)]
+
+    def test_nested_star_of_group(self):
+        g = expand(
+            [rule("S", Star(Seq((Sym("a"), Sym("b")))))],
+            {"a", "b"},
+            "S",
+        )
+        aux = g.productions[0].rhs[0]
+        recursive = [p for p in g.productions_for(aux) if not p.is_epsilon]
+        assert recursive[0].rhs == (aux, "a", "b")
+
+
+class TestAnnotations:
+    def test_tags_preserved_on_user_production(self):
+        rules = [
+            ExtendedRule(
+                "S", [ExtendedAlternative(Sym("a"), tags=("hello", "world"))]
+            )
+        ]
+        g = expand_extended_rules(rules, {"a"}, "S")
+        assert g.productions[0].tags == ("hello", "world")
+
+    def test_prec_symbol_preserved(self):
+        rules = [ExtendedRule("S", [ExtendedAlternative(Sym("a"), prec_symbol="P")])]
+        g = expand_extended_rules(rules, {"a", "P"}, "S")
+        assert g.productions[0].prec_symbol == "P"
+
+    def test_multiple_rules_stable_indices(self):
+        g = expand([rule("S", Sym("A")), rule("A", Sym("a"), Sym("b"))],
+                   {"a", "b"}, "S")
+        assert [p.lhs for p in g.productions] == ["S", "A", "A"]
+
+    def test_bad_expression_type_rejected(self):
+        class Bogus:
+            pass
+
+        with pytest.raises(GrammarError):
+            expand([rule("S", Bogus())], set(), "S")

@@ -1,0 +1,88 @@
+"""Tests for the calculator and LR(2) languages."""
+
+import pytest
+
+from repro import Document
+from repro.dag.nodes import NO_STATE
+from repro.langs.calc import calc_language, evaluate
+from repro.langs.lr2 import lookahead_profile, lr2_language
+from repro.parser import ParseError
+
+
+class TestCalc:
+    def test_deterministic(self):
+        assert calc_language().is_deterministic
+
+    def test_evaluate_simple(self):
+        doc = Document(calc_language(), "a = 2; b = a * 3 + 1;")
+        doc.parse()
+        env = evaluate(doc.body)
+        assert env["a"] == 2.0 and env["b"] == 7.0
+
+    def test_evaluate_precedence(self):
+        doc = Document(calc_language(), "x = 2 + 3 * 4;")
+        doc.parse()
+        assert evaluate(doc.body)["x"] == 14.0
+
+    def test_evaluate_unary_minus(self):
+        doc = Document(calc_language(), "x = -3 * -2;")
+        doc.parse()
+        assert evaluate(doc.body)["x"] == 6.0
+
+    def test_evaluate_parens(self):
+        doc = Document(calc_language(), "x = (2 + 3) * 4;")
+        doc.parse()
+        assert evaluate(doc.body)["x"] == 20.0
+
+    def test_print_statement(self):
+        doc = Document(calc_language(), "x = 1; print x + 1;")
+        doc.parse()
+        env = evaluate(doc.body)
+        assert env["__prints__"] == [2.0]
+
+    def test_division_by_zero_is_total(self):
+        doc = Document(calc_language(), "x = 1 / 0;")
+        doc.parse()
+        assert evaluate(doc.body)["x"] == 0.0
+
+    def test_comments(self):
+        doc = Document(calc_language(), "x = 1; # comment\ny = x;")
+        doc.parse()
+        assert evaluate(doc.body)["y"] == 1.0
+
+    def test_evaluation_after_incremental_edit(self):
+        doc = Document(calc_language(), "x = 10; y = x + 1;")
+        doc.parse()
+        doc.edit(4, 2, "20")
+        doc.parse()
+        assert evaluate(doc.body)["y"] == 21.0
+
+
+class TestLR2:
+    def test_grammar_has_rr_conflict(self):
+        lang = lr2_language()
+        assert not lang.is_deterministic
+
+    def test_parses_both_sentences(self):
+        for text, rhs in (("x z c", ("b", "c")), ("x z e", ("d", "e"))):
+            doc = Document(lr2_language(), text)
+            doc.parse()
+            assert doc.body.production.rhs == rhs
+            assert not doc.is_ambiguous
+
+    def test_rejects_invalid(self):
+        doc = Document(lr2_language(), "x z z")
+        with pytest.raises(ParseError):
+            doc.parse(recover=False)
+
+    def test_lookahead_profile(self):
+        doc = Document(lr2_language(), "x z c")
+        doc.parse()
+        profile = lookahead_profile(doc.body)
+        assert profile == {"a": False, "b": True, "u": True}
+
+    def test_profile_distinguishes_split_depth(self):
+        doc = Document(lr2_language(), "x z e")
+        doc.parse()
+        profile = lookahead_profile(doc.body)
+        assert profile["v"] and profile["d"] and not profile["a"]

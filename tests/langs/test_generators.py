@@ -1,0 +1,103 @@
+"""Tests for the synthetic program generators."""
+
+from repro import Document
+from repro.dag import ambiguity_overhead_percent, choice_points
+from repro.langs.calc import calc_language
+from repro.langs.generators import (
+    TABLE1_SUITE,
+    MiniCGenerator,
+    density_for_overhead,
+    generate_calc_program,
+    generate_gcc_corpus,
+    generate_minic,
+    generate_suite_program,
+)
+from repro.langs.minic import minic_language
+
+
+class TestMiniCGenerator:
+    def test_deterministic_per_seed(self):
+        assert generate_minic(100, seed=5) == generate_minic(100, seed=5)
+        assert generate_minic(100, seed=5) != generate_minic(100, seed=6)
+
+    def test_target_line_count(self):
+        text = generate_minic(300, seed=1)
+        lines = text.count("\n")
+        assert 250 <= lines <= 400
+
+    def test_output_parses(self):
+        doc = Document(minic_language(), generate_minic(150, seed=2))
+        doc.parse()
+        assert doc.body is not None
+
+    def test_zero_density_is_unambiguous(self):
+        doc = Document(
+            minic_language(), generate_minic(200, seed=3, ambiguity_density=0.0)
+        )
+        doc.parse()
+        assert not doc.is_ambiguous
+
+    def test_positive_density_creates_choices(self):
+        doc = Document(
+            minic_language(),
+            generate_minic(300, seed=3, ambiguity_density=0.05),
+        )
+        doc.parse()
+        assert choice_points(doc.tree)
+
+    def test_density_for_overhead_monotone(self):
+        assert density_for_overhead(0.0) == 0.0
+        assert density_for_overhead(0.5) > density_for_overhead(0.1)
+
+
+class TestSuite:
+    def test_suite_mirrors_table1_rows(self):
+        names = [s.name for s in TABLE1_SUITE]
+        assert "go" in names and "ensemble" in names
+        assert len(TABLE1_SUITE) == 13
+
+    def test_suite_program_parses_and_tracks_target(self):
+        spec = next(s for s in TABLE1_SUITE if s.name == "compress")
+        doc = Document(minic_language(), generate_suite_program(spec))
+        doc.parse()
+        measured = ambiguity_overhead_percent(doc.tree)
+        assert abs(measured - spec.target_overhead_pct) < 0.3
+
+    def test_zero_target_program_is_unambiguous(self):
+        spec = next(s for s in TABLE1_SUITE if s.target_overhead_pct == 0.0)
+        doc = Document(minic_language(), generate_suite_program(spec))
+        doc.parse()
+        assert not doc.is_ambiguous
+
+
+class TestGccCorpus:
+    def test_file_count(self):
+        corpus = generate_gcc_corpus(n_files=10, lines_per_file=60)
+        assert len(corpus) == 10
+
+    def test_all_files_parse(self):
+        lang = minic_language()
+        for _name, text in generate_gcc_corpus(n_files=5, lines_per_file=60):
+            doc = Document(lang, text)
+            doc.parse()
+
+    def test_deterministic(self):
+        a = generate_gcc_corpus(n_files=3, seed=9)
+        b = generate_gcc_corpus(n_files=3, seed=9)
+        assert a == b
+
+
+class TestCalcGenerator:
+    def test_parses(self):
+        doc = Document(calc_language(), generate_calc_program(50, seed=4))
+        doc.parse()
+        assert doc.body.symbol == "program"
+
+    def test_statement_count(self):
+        text = generate_calc_program(120, seed=4)
+        assert text.count(";") == 120
+
+    def test_deterministic(self):
+        assert generate_calc_program(30, seed=1) == generate_calc_program(
+            30, seed=1
+        )

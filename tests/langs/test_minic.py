@@ -1,0 +1,120 @@
+"""Tests for the MiniC language definition."""
+
+import pytest
+
+from repro import Document
+from repro.dag import choice_points, unparse
+from repro.langs.minic import (
+    declared_name,
+    is_decl_alternative,
+    is_stmt_alternative,
+    is_typedef_choice,
+    leading_identifier,
+    minic_language,
+)
+
+
+@pytest.fixture(scope="module")
+def lang():
+    return minic_language()
+
+
+def parse(lang, text):
+    doc = Document(lang, text)
+    doc.parse()
+    return doc
+
+
+class TestGrammar:
+    def test_language_caches(self, lang):
+        assert minic_language() is lang
+
+    def test_only_residual_conflicts_are_the_ambiguity(self, lang):
+        # Precedence filters remove expression conflicts; what remains is
+        # the decl/stmt reduce-reduce ambiguity.
+        assert 0 < len(lang.table.conflicts) <= 4
+        assert all(c.kind == "reduce/reduce" for c in lang.table.conflicts)
+
+    def test_plain_declarations(self, lang):
+        doc = parse(lang, "int x; char y; float z;")
+        assert not doc.is_ambiguous
+
+    def test_function_definition(self, lang):
+        doc = parse(lang, "int main(int argc) { return argc; }")
+        assert doc.body.symbol == "translation_unit"
+
+    def test_comments_preserved(self, lang):
+        text = "int x; /* a comment */ int y;\n"
+        doc = parse(lang, text)
+        assert unparse(doc.tree) == text
+
+    def test_expressions_statically_filtered(self, lang):
+        doc = parse(lang, "int f() { x = 1 + 2 * 3 - 4 / 5; }")
+        assert not doc.is_ambiguous
+
+    def test_control_flow(self, lang):
+        doc = parse(
+            lang,
+            "int f() { if (x) return 1; while (y) { z = z - 1; } }",
+        )
+        assert not doc.is_ambiguous
+
+
+class TestAmbiguity:
+    def test_call_or_decl(self, lang):
+        doc = parse(lang, "int f() { a (b); }")
+        points = choice_points(doc.tree)
+        assert len(points) == 1
+        assert is_typedef_choice(points[0])
+
+    def test_pointer_or_product(self, lang):
+        doc = parse(lang, "int f() { a * b; }")
+        assert len(choice_points(doc.tree)) == 1
+
+    def test_double_pointer(self, lang):
+        doc = parse(lang, "int f() { a * * b; }")
+        assert len(choice_points(doc.tree)) == 1
+
+    def test_keyword_type_not_ambiguous(self, lang):
+        doc = parse(lang, "int f() { int (b); }")
+        assert not doc.is_ambiguous
+
+    def test_call_with_two_args_not_ambiguous(self, lang):
+        # A declarator cannot contain a comma: only the call reading.
+        doc = parse(lang, "int f() { a (b, c); }")
+        assert not doc.is_ambiguous
+
+    def test_assignment_not_ambiguous(self, lang):
+        doc = parse(lang, "int f() { a = b; }")
+        assert not doc.is_ambiguous
+
+
+class TestHelpers:
+    def test_leading_identifier(self, lang):
+        doc = parse(lang, "int f() { abc (d); }")
+        point = choice_points(doc.tree)[0]
+        assert leading_identifier(point).text == "abc"
+
+    def test_alternative_classification(self, lang):
+        doc = parse(lang, "int f() { a (b); }")
+        point = choice_points(doc.tree)[0]
+        kinds = {
+            "decl" if is_decl_alternative(alt) else "stmt"
+            for alt in point.alternatives
+        }
+        assert kinds == {"decl", "stmt"}
+
+    def test_declared_name_through_parens_and_stars(self, lang):
+        doc = parse(lang, "int x; int (y); int * (*z);")
+        decls = [
+            n
+            for n in doc.body.walk()
+            if not n.is_terminal and not n.is_symbol_node and n.symbol == "decl"
+        ]
+        names = {declared_name(d.kids[1]).text for d in decls}
+        assert names == {"x", "y", "z"}
+
+    def test_is_typedef_choice_rejects_other_symbols(self, lang):
+        doc = parse(lang, "int f() { a (b); }")
+        point = choice_points(doc.tree)[0]
+        assert is_typedef_choice(point)

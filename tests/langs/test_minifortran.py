@@ -1,0 +1,124 @@
+"""Tests for MiniFortran: the second semantic-ambiguity family."""
+
+import pytest
+
+from repro.dag import choice_points
+from repro.langs.minifortran import (
+    FortranAnalyzer,
+    is_fortran_choice,
+    line_terminated,
+    minifortran_language,
+    parse_minifortran,
+)
+from repro.semantics import is_rejected, resolved_view
+
+PROGRAM = """\
+dimension A(10)
+real X
+A(I) = X + 1
+F(I) = I * 2
+X = 3
+print A(2)"""
+
+
+class TestGrammar:
+    def test_single_residual_conflict(self):
+        lang = minifortran_language()
+        assert len(lang.table.conflicts) == 1
+        assert lang.table.conflicts[0].kind == "reduce/reduce"
+
+    def test_line_terminated(self):
+        assert line_terminated("a = 1\nb = 2") == "a = 1\nb = 2\n"
+        assert line_terminated("a = 1\n") == "a = 1\n"
+        assert line_terminated("") == ""
+
+    def test_unambiguous_statements(self):
+        doc = parse_minifortran("X = 1\nprint X")
+        assert not doc.is_ambiguous
+
+    def test_ambiguous_statement_creates_choice(self):
+        doc = parse_minifortran("A(I) = 1")
+        points = choice_points(doc.tree)
+        assert len(points) == 1
+        assert is_fortran_choice(points[0])
+
+    def test_both_interpretations_present(self):
+        doc = parse_minifortran("A(I) = 1")
+        point = choice_points(doc.tree)[0]
+        symbols = set()
+        for alt in point.alternatives:
+            symbols |= {k.symbol for k in alt.walk() if not k.is_terminal}
+        assert "array_assign" in symbols and "stmt_func" in symbols
+
+    def test_empty_lines_allowed(self):
+        doc = parse_minifortran("X = 1\n\nprint X\n")
+        assert doc.body is not None
+
+    def test_comments(self):
+        doc = parse_minifortran("X = 1 ! set X\nprint X")
+        assert not doc.is_ambiguous
+
+
+class TestAnalyzer:
+    def test_classification(self):
+        doc = parse_minifortran(PROGRAM)
+        outcome = FortranAnalyzer(doc).analyze()
+        assert outcome["array_assignment"] == ["A"]
+        assert outcome["statement_function"] == ["F"]
+
+    def test_selection_retains_rejected(self):
+        doc = parse_minifortran(PROGRAM)
+        FortranAnalyzer(doc).analyze()
+        for point in choice_points(doc.tree):
+            rejected = [a for a in point.alternatives if is_rejected(a)]
+            assert len(rejected) == 1
+            assert not resolved_view(point).is_symbol_node
+
+    def test_resolved_kind_matches_binding(self):
+        doc = parse_minifortran(PROGRAM)
+        FortranAnalyzer(doc).analyze()
+        for point in choice_points(doc.tree):
+            view = resolved_view(point)
+            kinds = {k.symbol for k in view.walk() if not k.is_terminal}
+            name = next(
+                t.text for t in point.iter_terminals() if t.symbol == "ID"
+            )
+            if name == "A":
+                assert "array_assign" in kinds
+            else:
+                assert "stmt_func" in kinds
+
+    def test_incremental_flip_on_new_dimension(self):
+        doc = parse_minifortran(PROGRAM)
+        analyzer = FortranAnalyzer(doc)
+        analyzer.analyze()
+        doc.insert(0, "dimension F(4)\n")
+        doc.parse()
+        changed = analyzer.update()
+        assert ("F", "array_assignment") in changed
+
+    def test_incremental_flip_on_removed_dimension(self):
+        doc = parse_minifortran(PROGRAM)
+        analyzer = FortranAnalyzer(doc)
+        analyzer.analyze()
+        offset = doc.text.index("dimension A(10)")
+        doc.delete(offset, len("dimension A(10)\n"))
+        doc.parse()
+        changed = analyzer.update()
+        assert ("A", "statement_function") in changed
+
+    def test_update_without_flips_is_empty(self):
+        doc = parse_minifortran(PROGRAM)
+        analyzer = FortranAnalyzer(doc)
+        analyzer.analyze()
+        offset = doc.text.index("X = 3")
+        doc.edit(offset + 4, 1, "7")
+        doc.parse()
+        assert analyzer.update() == []
+
+    def test_unparsed_document_rejected(self):
+        from repro import Document
+
+        doc = Document(minifortran_language(), "X = 1 EOL")
+        with pytest.raises(ValueError):
+            FortranAnalyzer(doc).analyze()

@@ -1,0 +1,96 @@
+"""Tests for the batch lexer."""
+
+import pytest
+
+from repro.grammar import parse_grammar_spec
+from repro.lexing import EOS, ERROR_TOKEN, LexError, LexerSpec, stream_text
+
+
+def c_like_spec() -> LexerSpec:
+    return LexerSpec(
+        token_defs=[
+            ("NUM", "[0-9]+"),
+            ("ID", "[a-zA-Z_][a-zA-Z0-9_]*"),
+        ],
+        keywords=["typedef", "int", ";", "(", ")", "=", "+", "*"],
+        ignore=["[ \\t\\n]+", r"/\*([^*]|\*+[^*/])*\*+/"],
+    )
+
+
+class TestBatchLexing:
+    def test_simple_stream(self):
+        toks = c_like_spec().lex("int x = 1;")
+        assert [t.type for t in toks] == ["int", "ID", "=", "NUM", ";", EOS]
+
+    def test_keywords_beat_identifiers(self):
+        toks = c_like_spec().lex("typedef typedefx")
+        assert toks[0].type == "typedef"
+        assert toks[1].type == "ID" and toks[1].text == "typedefx"
+
+    def test_trivia_attached_to_following_token(self):
+        toks = c_like_spec().lex("a  b")
+        assert toks[1].trivia == "  "
+
+    def test_comment_is_trivia(self):
+        toks = c_like_spec().lex("a /* c */ b")
+        assert toks[1].trivia == " /* c */ "
+
+    def test_trailing_trivia_on_eos(self):
+        toks = c_like_spec().lex("a  ")
+        assert toks[-1].type == EOS and toks[-1].trivia == "  "
+
+    def test_stream_text_roundtrip(self):
+        text = "int x = 1; /* done */\n"
+        assert stream_text(c_like_spec().lex(text)) == text
+
+    def test_empty_text(self):
+        toks = c_like_spec().lex("")
+        assert [t.type for t in toks] == [EOS]
+
+    def test_error_token_nonstrict(self):
+        toks = c_like_spec().lex("a # b")
+        types = [t.type for t in toks]
+        assert ERROR_TOKEN in types
+        assert stream_text(toks) == "a # b"
+
+    def test_error_token_strict_raises(self):
+        with pytest.raises(LexError):
+            c_like_spec().lex("a # b", strict=True)
+
+    def test_lookahead_recorded(self):
+        # After "12", the lexer examines the char after the digits.
+        toks = c_like_spec().lex("12+3")
+        assert toks[0].lookahead == 1
+
+    def test_lookahead_at_eof_counts_virtual_position(self):
+        # A token truncated by end-of-input "examined" EOF: inserting text
+        # there must invalidate it, so it carries one position of lookahead.
+        toks = c_like_spec().lex("12")
+        assert toks[0].lookahead == 1
+
+    def test_longest_match_across_rules(self):
+        spec = LexerSpec(
+            token_defs=[("ID", "[a-z]+")],
+            keywords=["<", "<="],
+            ignore=[" +"],
+        )
+        toks = spec.lex("a <= b")
+        assert toks[1].type == "<="
+
+
+class TestFromGrammarSpec:
+    CALC = """
+%token NUM /[0-9]+/
+e : e '+' NUM | NUM ;
+"""
+
+    def test_builds_from_dsl(self):
+        spec = parse_grammar_spec(self.CALC)
+        lexer = LexerSpec.from_grammar_spec(spec)
+        toks = lexer.lex("1 + 2")
+        assert [t.type for t in toks] == ["NUM", "+", "NUM", EOS]
+
+    def test_default_whitespace_ignore(self):
+        spec = parse_grammar_spec(self.CALC)
+        lexer = LexerSpec.from_grammar_spec(spec)
+        assert stream_text(lexer.lex(" 1\t+\n2 ")) == " 1\t+\n2 "

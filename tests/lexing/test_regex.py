@@ -1,0 +1,137 @@
+"""Tests for the regex engine and DFA."""
+
+import pytest
+
+from repro.lexing import DFA, NFA, RegexError, longest_match, parse_regex
+
+
+def matcher(pattern):
+    nfa = NFA()
+    nfa.add_pattern(parse_regex(pattern), 0)
+    dfa = DFA(nfa)
+
+    def match(text):
+        end, tag, _ = longest_match(dfa, text, 0)
+        return end if tag == 0 else None
+
+    return match
+
+
+class TestBasicPatterns:
+    def test_literal(self):
+        m = matcher("abc")
+        assert m("abc") == 3
+        assert m("abd") is None
+
+    def test_alternation(self):
+        m = matcher("cat|dog")
+        assert m("cat") == 3
+        assert m("dog") == 3
+        assert m("cow") is None
+
+    def test_star(self):
+        m = matcher("a*")
+        assert m("") == 0
+        assert m("aaab") == 3
+
+    def test_plus(self):
+        m = matcher("a+")
+        assert m("") is None
+        assert m("aa") == 2
+
+    def test_optional(self):
+        m = matcher("ab?c")
+        assert m("ac") == 2
+        assert m("abc") == 3
+
+    def test_grouping(self):
+        m = matcher("(ab)+")
+        assert m("ababx") == 4
+        assert m("aab") is None
+
+    def test_dot_excludes_newline(self):
+        m = matcher(".")
+        assert m("x") == 1
+        assert m("\n") is None
+
+    def test_char_class(self):
+        m = matcher("[a-c]+")
+        assert m("abcx") == 3
+
+    def test_negated_class(self):
+        m = matcher("[^0-9]+")
+        assert m("ab1") == 2
+        assert m("1") is None
+
+    def test_class_with_escape(self):
+        m = matcher(r"[\t ]+")
+        assert m("\t \tx") == 3
+
+    def test_class_shorthand(self):
+        m = matcher(r"\d+")
+        assert m("123a") == 3
+        m = matcher(r"\w+")
+        assert m("ab_9-") == 4
+
+    def test_escapes(self):
+        m = matcher(r"\n")
+        assert m("\n") == 1
+        m = matcher(r"\*")
+        assert m("*") == 1
+
+    def test_literal_dash_in_class(self):
+        m = matcher("[a-]+")
+        assert m("a-a") == 3
+
+    def test_c_comment_pattern(self):
+        m = matcher(r"/\*([^*]|\*+[^*/])*\*+/")
+        assert m("/* hi */x") == 8
+        assert m("/* a * b */") == 11
+        assert m("/* open") is None
+
+
+class TestLongestMatch:
+    def test_longest_wins(self):
+        m = matcher("a|aa|aaa")
+        assert m("aaaa") == 3
+
+    def test_lookahead_reported(self):
+        # Pattern 'a+b' on "aaac": reads a,a,a,c then fails; nothing accepted.
+        nfa = NFA()
+        nfa.add_pattern(parse_regex("a+b"), 0)
+        dfa = DFA(nfa)
+        end, tag, read_end = longest_match(dfa, "aaac", 0)
+        assert tag == -1 and end == 0
+        assert read_end == 4
+
+    def test_lookahead_beyond_accept(self):
+        # 'ab|abc' on "abx": accepts "ab" at 2 but examined 'x' at index 2.
+        nfa = NFA()
+        nfa.add_pattern(parse_regex("ab|abcd"), 0)
+        dfa = DFA(nfa)
+        end, tag, read_end = longest_match(dfa, "abx", 0)
+        assert end == 2 and tag == 0 and read_end == 3
+
+    def test_priority_lowest_tag_wins(self):
+        nfa = NFA()
+        nfa.add_pattern(parse_regex("[a-z]+"), 1)
+        nfa.add_pattern(parse_regex("if"), 0)
+        dfa = DFA(nfa)
+        end, tag, _ = longest_match(dfa, "if", 0)
+        assert tag == 0
+        end, tag, _ = longest_match(dfa, "iff", 0)
+        assert (end, tag) == (3, 1)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "pattern",
+        ["(ab", "[abc", "a**missing|)", "*a", "+", "a|)", "\\"],
+    )
+    def test_malformed_patterns_raise(self, pattern):
+        with pytest.raises(RegexError):
+            parse_regex(pattern)
+
+    def test_bad_range(self):
+        with pytest.raises(RegexError):
+            parse_regex("[z-a]")

@@ -1,0 +1,83 @@
+"""Unit tests for forest enumeration and document odds-and-ends."""
+
+from repro import Document, Language
+from repro.parser import enumerate_trees
+
+AMBIG = Language.from_dsl("%token NUM /[0-9]+/\ne : e '+' e | NUM ;")
+CALC = Language.from_dsl(
+    "%token NUM /[0-9]+/\n%token ID /[a-z]+/\n"
+    "program : stmt* ;\nstmt : ID '=' NUM ';' ;"
+)
+
+
+class TestEnumerateTrees:
+    def test_terminal_rendering(self):
+        doc = Document(AMBIG, "7")
+        doc.parse()
+        trees = enumerate_trees(doc.body)
+        assert trees == [("e", ("NUM", "7"))]
+
+    def test_limit_caps_output(self):
+        doc = Document(AMBIG, "+".join(["1"] * 9))
+        doc.parse()
+        trees = enumerate_trees(doc.body, limit=10)
+        assert len(trees) <= 11  # limit plus at most one overshoot batch
+
+    def test_sequence_flattening(self):
+        doc = Document(CALC, "a = 1; b = 2;", balanced_sequences=True)
+        doc.parse()
+        plain = Document(CALC, "a = 1; b = 2;")
+        plain.parse()
+        balanced_tree = enumerate_trees(doc.body)[0]
+        # The sequence renders as (symbol, item, item) regardless of the
+        # balanced parts inside.
+        seq = balanced_tree[1]
+        assert seq[0].endswith("@seq1")
+        assert len(seq) == 3
+
+    def test_empty_sequence_rendering(self):
+        doc = Document(CALC, "", balanced_sequences=True)
+        doc.parse()
+        tree = enumerate_trees(doc.body)[0]
+        assert tree[1][1:] == ()
+
+
+class TestDocumentQueries:
+    def test_terminal_for_offset(self):
+        doc = Document(CALC, "ab = 1;")
+        doc.parse()
+        node = doc.terminal_for_offset(0)
+        assert node is not None and node.text == "ab"
+        node = doc.terminal_for_offset(5)
+        assert node is not None and node.text == "1"
+
+    def test_terminal_for_offset_in_trivia(self):
+        doc = Document(CALC, "ab = 1;")
+        doc.parse()
+        # Offset 2 is the space, which belongs to '=' as trivia.
+        node = doc.terminal_for_offset(2)
+        assert node is not None and node.text == "="
+
+    def test_terminal_for_offset_out_of_range(self):
+        doc = Document(CALC, "ab = 1;")
+        doc.parse()
+        assert doc.terminal_for_offset(999) is None
+
+    def test_edit_out_of_range_rejected(self):
+        import pytest
+
+        doc = Document(CALC, "ab = 1;")
+        with pytest.raises(ValueError):
+            doc.edit(100, 5, "x")
+        with pytest.raises(ValueError):
+            doc.edit(-1, 0, "x")
+
+    def test_is_ambiguous_before_parse(self):
+        doc = Document(AMBIG, "1+2+3")
+        assert not doc.is_ambiguous
+        doc.parse()
+        assert doc.is_ambiguous
+
+    def test_source_text_before_parse(self):
+        doc = Document(CALC, "ab = 1;")
+        assert doc.source_text() == "ab = 1;"

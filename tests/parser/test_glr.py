@@ -1,0 +1,221 @@
+"""Tests for batch GLR parsing: non-determinism, ambiguity, sharing."""
+
+import pytest
+
+from repro.dag import choice_points, count_nodes, unparse
+from repro.grammar import Grammar, parse_grammar_spec
+from repro.lexing import LexerSpec, Token
+from repro.lexing.tokens import EOS
+from repro.parser import GLRParser, ParseError, enumerate_trees
+from repro.tables import ParseTable
+
+
+def make_glr(dsl, **kw):
+    spec = parse_grammar_spec(dsl)
+    table = ParseTable(spec.grammar)
+    return GLRParser(table, **kw), LexerSpec.from_grammar_spec(spec)
+
+
+def toks(*types):
+    return [Token(t, t) for t in types] + [Token(EOS, "")]
+
+
+# Figure 7: an LR(2) grammar -- unambiguous but needs two tokens of
+# lookahead, forcing a temporary parser split.
+LR2 = """
+a : b 'c' | d 'e' ;
+b : u 'z' ;
+d : v 'z' ;
+u : 'x' ;
+v : 'x' ;
+"""
+
+AMBIG_EXPR = """
+%token NUM /[0-9]+/
+e : e '+' e | e '*' e | NUM ;
+"""
+
+
+class TestNonDeterministicUnambiguous:
+    def test_lr2_grammar_parses_both_sentences(self):
+        glr, _ = make_glr(LR2)
+        for last, top_rhs in (("c", ("b", "c")), ("e", ("d", "e"))):
+            result = glr.parse(toks("x", "z", last))
+            assert result.root.symbol == "a"
+            assert result.root.production.rhs == top_rhs
+
+    def test_lr2_result_is_unambiguous(self):
+        glr, _ = make_glr(LR2)
+        result = glr.parse(toks("x", "z", "c"))
+        assert not result.is_ambiguous
+        assert choice_points(result.root) == []
+
+    def test_lr2_nodes_in_split_region_are_multistate(self):
+        from repro.dag import NO_STATE
+
+        glr, _ = make_glr(LR2)
+        result = glr.parse(toks("x", "z", "c"))
+        # u -> x was reduced while two parsers were active (Figure 7's
+        # black ellipses): it must carry the non-deterministic sentinel.
+        u_nodes = [
+            n
+            for n in result.root.walk()
+            if not n.is_terminal and n.symbol in ("u", "v")
+        ]
+        assert u_nodes and all(n.state == NO_STATE for n in u_nodes)
+
+    def test_lr2_deterministic_suffix_has_states(self):
+        from repro.dag import NO_STATE
+
+        glr, _ = make_glr(LR2)
+        result = glr.parse(toks("x", "z", "c"))
+        # The root reduction a -> b c happens after the split collapses.
+        assert result.root.state != NO_STATE
+
+    def test_unsuccessful_parser_discarded(self):
+        glr, _ = make_glr(LR2)
+        result = glr.parse(toks("x", "z", "c"))
+        # No d/v interpretation survives in the dag.
+        symbols = {n.symbol for n in result.root.walk() if not n.is_terminal}
+        assert "d" not in symbols and "v" not in symbols
+
+
+class TestAmbiguity:
+    def test_ambiguous_expression_creates_choice_node(self):
+        glr, lexer = make_glr(AMBIG_EXPR)
+        result = glr.parse(lexer.lex("1+2*3"))
+        points = choice_points(result.root)
+        assert len(points) == 1
+        assert points[0].symbol == "e"
+        assert len(points[0].alternatives) == 2
+
+    def test_both_interpretations_present(self):
+        glr, lexer = make_glr(AMBIG_EXPR)
+        result = glr.parse(lexer.lex("1+2*3"))
+        trees = enumerate_trees(result.root)
+        assert len(trees) == 2
+
+    def test_three_operand_chain_counts(self):
+        glr, lexer = make_glr(AMBIG_EXPR)
+        # 1+2+3+4 has 5 binary trees (Catalan(3)).
+        result = glr.parse(lexer.lex("1+2+3+4"))
+        assert len(enumerate_trees(result.root)) == 5
+
+    def test_shared_terminals_across_alternatives(self):
+        glr, lexer = make_glr(AMBIG_EXPR)
+        result = glr.parse(lexer.lex("1+2*3"))
+        terms = {}
+        for node in result.root.walk():
+            if node.is_terminal:
+                terms[id(node)] = node
+        # 5 terminals + EOS never enters the tree: exactly 5 unique.
+        assert len(terms) == 5
+
+    def test_forest_is_compact(self):
+        glr, lexer = make_glr(AMBIG_EXPR)
+        # 8-operand chain: 429 trees, but dag node count stays small.
+        text = "+".join(str(i) for i in range(1, 9))
+        result = glr.parse(lexer.lex(text))
+        assert len(enumerate_trees(result.root)) == 429
+        assert count_nodes(result.root) < 150
+
+    def test_unparse_recovers_text(self):
+        glr, lexer = make_glr(AMBIG_EXPR)
+        result = glr.parse(lexer.lex("1 + 2 * 3"))
+        assert unparse(result.root) == "1 + 2 * 3"
+
+    def test_statically_filtered_grammar_is_deterministic(self):
+        glr, lexer = make_glr(
+            "%token NUM /[0-9]+/\n%left '+'\n%left '*'\n"
+            "e : e '+' e | e '*' e | NUM ;"
+        )
+        result = glr.parse(lexer.lex("1+2*3"))
+        assert not result.is_ambiguous
+
+
+class TestTypedefStyleAmbiguity:
+    # The paper's running example, simplified: "a (b);" is either a
+    # declaration (type a, declarator b) or a call statement.
+    MINI = """
+%token ID /[a-z]+/
+stmt : decl | expr_stmt ;
+decl : type_id '(' decl_id ')' ';' ;
+expr_stmt : funcall ';' ;
+funcall : func_id '(' arg ')' ;
+type_id : ID ;
+decl_id : ID ;
+func_id : ID ;
+arg : ID ;
+"""
+
+    def test_dual_interpretation(self):
+        glr, lexer = make_glr(self.MINI)
+        result = glr.parse(lexer.lex("a (b);"))
+        points = choice_points(result.root)
+        assert len(points) == 1
+        assert points[0].symbol == "stmt"
+        kinds = {alt.production.rhs[0] for alt in points[0].alternatives}
+        assert kinds == {"decl", "expr_stmt"}
+
+    def test_choice_point_shares_terminal_yield(self):
+        glr, lexer = make_glr(self.MINI)
+        result = glr.parse(lexer.lex("a (b);"))
+        point = choice_points(result.root)[0]
+        yields = [
+            [t.token.text for t in alt.iter_terminals()]
+            for alt in point.alternatives
+        ]
+        assert yields[0] == yields[1] == ["a", "(", "b", ")", ";"]
+        first_terms = [list(alt.iter_terminals()) for alt in point.alternatives]
+        shared = {id(t) for t in first_terms[0]} & {
+            id(t) for t in first_terms[1]
+        }
+        assert len(shared) == 5  # terminals shared between interpretations
+
+
+class TestErrors:
+    def test_syntax_error_raises(self):
+        glr, lexer = make_glr(AMBIG_EXPR)
+        with pytest.raises(ParseError):
+            glr.parse(lexer.lex("1+*2"))
+
+    def test_error_reports_offending_terminal(self):
+        glr, lexer = make_glr(AMBIG_EXPR)
+        with pytest.raises(ParseError) as exc:
+            glr.parse(lexer.lex("1+*2"))
+        assert exc.value.terminal is not None
+        assert exc.value.terminal.symbol == "*"
+
+    def test_all_parsers_dying_is_an_error(self):
+        glr, _ = make_glr(LR2)
+        with pytest.raises(ParseError):
+            glr.parse(toks("x", "z", "z"))
+
+
+class TestEpsilonHandling:
+    def test_epsilon_production_parses(self):
+        glr, lexer = make_glr(
+            "%token ID /[a-z]+/\ns : opt ID ;\nopt : 'k'? ;"
+        )
+        result = glr.parse(lexer.lex("x"))
+        assert result.root.symbol == "s"
+
+    def test_null_yield_nodes_not_shared(self):
+        # Two epsilon slots in one production: their nodes must be
+        # distinct objects (the paper's epsilon un-sharing).
+        glr, lexer = make_glr(
+            "%token ID /[a-z]+/\ns : opt ID opt ID ;\nopt : 'k'? ;"
+        )
+        result = glr.parse(lexer.lex("x y"))
+        null_nodes = [
+            n
+            for n in result.root.walk()
+            if not n.is_terminal and n.n_terms == 0
+        ]
+        assert len(null_nodes) == len({id(n) for n in null_nodes})
+        assert len(null_nodes) >= 2
+
+    def test_nullable_start(self):
+        glr, lexer = make_glr("%token ID /[a-z]+/\ns : ID* ;")
+        result = glr.parse(lexer.lex(""))
+        assert result.root.n_terms == 0

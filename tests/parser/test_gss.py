@@ -1,0 +1,74 @@
+"""Unit tests for the graph-structured stack."""
+
+from repro.dag.nodes import TerminalNode
+from repro.lexing import Token
+from repro.parser import GssLink, GssNode
+
+
+def node(text):
+    return TerminalNode(Token(text, text))
+
+
+class TestGss:
+    def test_single_chain_path(self):
+        bottom = GssNode(0)
+        a, b = node("a"), node("b")
+        mid = GssNode(1, GssLink(bottom, a))
+        top = GssNode(2, GssLink(mid, b))
+        paths = list(top.paths(2))
+        assert len(paths) == 1
+        kids, tail = paths[0]
+        assert [k.text for k in kids] == ["a", "b"]
+        assert tail is bottom
+
+    def test_zero_length_path(self):
+        n = GssNode(5)
+        assert list(n.paths(0)) == [((), n)]
+
+    def test_branching_paths(self):
+        bottom1, bottom2 = GssNode(0), GssNode(1)
+        a, b, c = node("a"), node("b"), node("c")
+        top = GssNode(2, GssLink(bottom1, a))
+        top.add_link(GssLink(bottom2, b))
+        paths = list(top.paths(1))
+        assert len(paths) == 2
+        tails = {id(tail) for _, tail in paths}
+        assert tails == {id(bottom1), id(bottom2)}
+
+    def test_diamond_counts_paths(self):
+        bottom = GssNode(0)
+        m1 = GssNode(1, GssLink(bottom, node("a")))
+        m2 = GssNode(2, GssLink(bottom, node("b")))
+        top = GssNode(3, GssLink(m1, node("c")))
+        top.add_link(GssLink(m2, node("d")))
+        assert len(list(top.paths(2))) == 2
+
+    def test_link_to(self):
+        bottom = GssNode(0)
+        top = GssNode(1, GssLink(bottom, node("a")))
+        assert top.link_to(bottom) is top.links[0]
+        assert top.link_to(GssNode(9)) is None
+
+    def test_paths_through_filters_by_link(self):
+        bottom = GssNode(0)
+        m = GssNode(1, GssLink(bottom, node("a")))
+        top = GssNode(2, GssLink(m, node("b")))
+        extra = GssLink(m, node("x"))
+        top.add_link(extra)
+        all_paths = list(top.paths(2))
+        through = list(top.paths_through(2, extra))
+        assert len(all_paths) == 2
+        assert len(through) == 1
+        assert through[0][0][1].text == "x"
+
+    def test_paths_through_zero_length_is_empty(self):
+        assert list(GssNode(0).paths_through(0, GssLink(GssNode(1), node("a")))) == []
+
+    def test_label_mutation_visible(self):
+        bottom = GssNode(0)
+        link = GssLink(bottom, node("a"))
+        top = GssNode(1, link)
+        replacement = node("z")
+        link.node = replacement
+        kids, _ = next(top.paths(1))
+        assert kids[0] is replacement

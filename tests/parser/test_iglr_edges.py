@@ -1,0 +1,171 @@
+"""Edge-case tests for the IGLR engine."""
+
+import pytest
+
+from repro import Document, Language
+from repro.dag import choice_points, count_nodes
+from repro.grammar import Grammar
+from repro.lexing import Token
+from repro.lexing.tokens import EOS
+from repro.parser import GLRParser, ParseError, enumerate_trees
+from repro.tables import ParseTable
+
+
+def glr_for(rules, start):
+    grammar = Grammar.from_rules(rules, start=start)
+    return GLRParser(ParseTable(grammar, resolve_precedence=False))
+
+
+def toks(*types):
+    return [Token(t, t) for t in types] + [Token(EOS, "")]
+
+
+class TestGrammarShapes:
+    def test_right_recursion(self):
+        glr = glr_for({"L": [["x", "L"], ["x"]]}, "L")
+        result = glr.parse(toks(*["x"] * 20))
+        assert result.root.n_terms == 20
+
+    def test_deep_left_recursion(self):
+        glr = glr_for({"L": [["L", "x"], ["x"]]}, "L")
+        result = glr.parse(toks(*["x"] * 200))
+        assert result.root.n_terms == 200
+
+    def test_nullable_chain(self):
+        glr = glr_for(
+            {"S": [["A", "B", "x"]], "A": [[]], "B": [["A"]]}, "S"
+        )
+        result = glr.parse(toks("x"))
+        assert result.root.n_terms == 1
+
+    def test_hidden_left_recursion(self):
+        # S -> A S b | x ; A -> eps: the classic Tomita failure case,
+        # handled by the limited re-reduction step.
+        glr = glr_for({"S": [["A", "S", "b"], ["x"]], "A": [[]]}, "S")
+        result = glr.parse(toks("x", "b", "b"))
+        assert result.root.symbol == "S"
+        assert result.root.n_terms == 3
+
+    def test_palindrome_ambiguity(self):
+        # S -> x S x | x: even-length inputs fail, odd succeed.
+        glr = glr_for({"S": [["x", "S", "x"], ["x"]]}, "S")
+        assert glr.parse(toks(*["x"] * 5)).root.n_terms == 5
+        with pytest.raises(ParseError):
+            glr.parse(toks(*["x"] * 4))
+
+    def test_highly_ambiguous_grammar(self):
+        # S -> S S | x: Catalan-number ambiguity.
+        glr = glr_for({"S": [["S", "S"], ["x"]]}, "S")
+        result = glr.parse(toks(*["x"] * 6))
+        assert len(enumerate_trees(result.root)) == 42  # Catalan(5)
+
+    def test_unit_production_chains(self):
+        glr = glr_for(
+            {"A": [["B"]], "B": [["C"]], "C": [["x"]]}, "A"
+        )
+        result = glr.parse(toks("x"))
+        symbols = [
+            n.symbol for n in result.root.walk() if not n.is_terminal
+        ]
+        assert symbols == ["A", "B", "C"]
+
+    def test_empty_input_non_nullable_start(self):
+        glr = glr_for({"S": [["x"]]}, "S")
+        with pytest.raises(ParseError):
+            glr.parse(toks())
+
+    def test_single_token_language(self):
+        glr = glr_for({"S": [["x"]]}, "S")
+        assert glr.parse(toks("x")).root.symbol == "S"
+
+
+class TestChoiceStructure:
+    def test_nested_ambiguity(self):
+        # Ambiguity inside ambiguity: (x x x) groups two ways, and each
+        # grouping is itself an S.
+        glr = glr_for({"S": [["S", "S"], ["x"]]}, "S")
+        result = glr.parse(toks(*["x"] * 4))
+        points = choice_points(result.root)
+        assert len(points) >= 2
+
+    def test_choice_alternatives_share_cover(self):
+        glr = glr_for({"S": [["S", "S"], ["x"]]}, "S")
+        result = glr.parse(toks(*["x"] * 3))
+        for point in choice_points(result.root):
+            widths = {alt.n_terms for alt in point.alternatives}
+            assert len(widths) == 1
+
+    def test_stats_track_splits(self):
+        glr = glr_for({"E": [["E", "+", "E"], ["x"]]}, "E")
+        result = glr.parse(toks("x", "+", "x", "+", "x"))
+        assert result.stats.parser_splits > 0
+
+
+class TestIncrementalEdges:
+    LANG = Language.from_dsl(
+        """
+%token NUM /[0-9]+/
+%token ID /[a-z]+/
+s : item* ;
+item : ID '=' NUM ';' ;
+"""
+    )
+
+    def test_edit_first_token_of_document(self):
+        doc = Document(self.LANG, "a = 1; b = 2;")
+        doc.parse()
+        doc.edit(0, 1, "xyz")
+        doc.parse()
+        assert doc.source_text() == "xyz = 1; b = 2;"
+
+    def test_edit_last_token_of_document(self):
+        doc = Document(self.LANG, "a = 1; b = 2;")
+        doc.parse()
+        doc.edit(len(doc.text) - 1, 1, "; c = 3;")
+        doc.parse()
+        assert doc.source_text() == "a = 1; b = 2; c = 3;"
+
+    def test_replace_entire_document(self):
+        doc = Document(self.LANG, "a = 1;")
+        doc.parse()
+        doc.edit(0, len(doc.text), "zz = 99;")
+        doc.parse()
+        assert doc.source_text() == "zz = 99;"
+
+    def test_grow_empty_document(self):
+        doc = Document(self.LANG, "")
+        doc.parse()
+        doc.insert(0, "a = 1;")
+        doc.parse()
+        assert doc.body.n_terms == 4
+
+    def test_shrink_to_empty(self):
+        doc = Document(self.LANG, "a = 1;")
+        doc.parse()
+        doc.delete(0, len(doc.text))
+        doc.parse()
+        assert doc.body.n_terms == 0
+        # And grow back.
+        doc.insert(0, "q = 7;")
+        doc.parse()
+        assert doc.source_text() == "q = 7;"
+
+    def test_consecutive_parses_without_edits(self):
+        doc = Document(self.LANG, "a = 1;")
+        doc.parse()
+        body = doc.body
+        doc.parse()
+        # Unchanged reparse reuses the whole body.
+        assert doc.body is body
+
+    def test_interleaved_edits_two_documents(self):
+        doc1 = Document(self.LANG, "a = 1;")
+        doc2 = Document(self.LANG, "b = 2;")
+        doc1.parse()
+        doc2.parse()
+        doc1.edit(4, 1, "9")
+        doc2.edit(4, 1, "8")
+        doc1.parse()
+        doc2.parse()
+        assert doc1.source_text() == "a = 9;"
+        assert doc2.source_text() == "b = 8;"

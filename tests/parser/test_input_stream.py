@@ -1,0 +1,179 @@
+"""Unit tests for the input stream and the modification overlay."""
+
+from repro.dag.nodes import ProductionNode, TerminalNode
+from repro.grammar import Production
+from repro.lexing import Token
+from repro.parser import InputStream, ParsePlan
+
+
+def term(text):
+    return TerminalNode(Token(text, text))
+
+
+def prod(lhs, *kids):
+    node = ProductionNode(
+        Production(0, lhs, tuple(k.symbol for k in kids)), tuple(kids)
+    )
+    node.adopt_kids()
+    return node
+
+
+def build_tree():
+    a, b, c, d = term("a"), term("b"), term("c"), term("d")
+    left = prod("L", a, b)
+    right = prod("R", c, d)
+    root = prod("S", left, right)
+    return root, left, right, a, b, c, d
+
+
+class TestBasicStream:
+    def test_lookahead_is_first_item(self):
+        root, *_ = build_tree()
+        stream = InputStream([root])
+        assert stream.lookahead is root
+
+    def test_left_breakdown_exposes_children(self):
+        root, left, right, *_ = build_tree()
+        stream = InputStream([root])
+        assert stream.left_breakdown() is left
+        assert stream.left_breakdown().symbol == "a"
+
+    def test_pop_lookahead_consumes(self):
+        root, left, right, *_ = build_tree()
+        stream = InputStream([root])
+        stream.left_breakdown()
+        assert stream.pop_lookahead() is right
+
+    def test_exhaustion(self):
+        stream = InputStream([term("x")])
+        stream.pop_lookahead()
+        assert stream.exhausted and stream.lookahead is None
+
+    def test_breakdown_counts_work(self):
+        root, *_ = build_tree()
+        stream = InputStream([root])
+        stream.left_breakdown()
+        stream.left_breakdown()
+        assert stream.breakdowns == 2
+
+
+class TestPlanInteraction:
+    def test_deleted_terminal_skipped(self):
+        root, left, right, a, b, c, d = build_tree()
+        plan = ParsePlan()
+        plan.mark_deleted(b)
+        stream = InputStream([root], plan)
+        # root now has changes -> settle breaks it down eagerly.
+        order = []
+        while not stream.exhausted:
+            order.append(stream.lookahead)
+            if stream.lookahead.is_terminal:
+                stream.pop_lookahead()
+            else:
+                stream.left_breakdown()
+        texts = [n.text for n in order if n.is_terminal]
+        assert texts == ["a", "c", "d"]
+
+    def test_pending_insertion_surfaces_before_anchor(self):
+        root, left, right, a, b, c, d = build_tree()
+        plan = ParsePlan()
+        fresh = term("X")
+        plan.add_pending_before(c, [fresh])
+        stream = InputStream([root], plan)
+        texts = []
+        while not stream.exhausted:
+            la = stream.lookahead
+            if la.is_terminal:
+                texts.append(la.text)
+                stream.pop_lookahead()
+            else:
+                stream.left_breakdown()
+        assert texts == ["a", "b", "X", "c", "d"]
+
+    def test_pending_at_end(self):
+        a = term("a")
+        plan = ParsePlan()
+        fresh = term("Z")
+        plan.add_pending_at_end([fresh])
+        stream = InputStream([a], plan)
+        stream.pop_lookahead()
+        assert stream.lookahead is fresh
+
+    def test_unchanged_subtree_not_decomposed(self):
+        root, left, right, a, b, c, d = build_tree()
+        plan = ParsePlan()
+        plan.mark_deleted(d)  # only the right side changes
+        stream = InputStream([root], plan)
+        # settle decomposes root (changed), exposing untouched left.
+        assert stream.lookahead is left
+
+    def test_changed_marks_visible(self):
+        root, left, right, a, b, c, d = build_tree()
+        plan = ParsePlan()
+        plan.mark_deleted(d)
+        stream = InputStream([root], plan)
+        assert stream.has_changes(right)
+        assert not stream.has_changes(left)
+
+
+class TestReductionTerminal:
+    def test_finds_leftmost_terminal(self):
+        root, *_rest = build_tree()
+        stream = InputStream([root])
+        assert stream.reduction_terminal().text == "a"
+
+    def test_skips_deleted(self):
+        root, left, right, a, b, c, d = build_tree()
+        plan = ParsePlan()
+        plan.mark_deleted(a)
+        stream = InputStream([root], plan)
+        assert stream.reduction_terminal().text == "b"
+
+    def test_sees_pending_insertion(self):
+        root, left, right, a, b, c, d = build_tree()
+        plan = ParsePlan()
+        fresh = term("X")
+        plan.add_pending_before(a, [fresh])
+        stream = InputStream([root], plan)
+        assert stream.reduction_terminal() is fresh
+
+    def test_none_when_exhausted(self):
+        stream = InputStream([])
+        assert stream.reduction_terminal() is None
+
+    def test_cache_stable_across_breakdowns(self):
+        root, *_ = build_tree()
+        stream = InputStream([root])
+        first = stream.reduction_terminal()
+        stream.left_breakdown()
+        assert stream.reduction_terminal() is first
+
+    def test_cache_invalidated_by_pop(self):
+        root, left, right, a, b, c, d = build_tree()
+        stream = InputStream([root])
+        stream.left_breakdown()  # expose left
+        assert stream.reduction_terminal() is a
+        stream.pop_lookahead()  # consume left subtree entirely
+        assert stream.reduction_terminal() is c
+
+
+class TestPlanBookkeeping:
+    def test_right_context_invalidation(self):
+        root, left, right, a, b, c, d = build_tree()
+        plan = ParsePlan()
+        plan.mark_deleted(c)
+        # 'b' ends L, and L's reduction looked ahead at 'c': invalid.
+        assert plan.has_changes(left)
+
+    def test_is_empty(self):
+        assert ParsePlan().is_empty
+        plan = ParsePlan()
+        plan.mark_deleted(term("x"))
+        assert not plan.is_empty
+
+    def test_modification_count(self):
+        root, left, right, a, b, c, d = build_tree()
+        plan = ParsePlan()
+        plan.mark_deleted(b)
+        plan.add_pending_before(c, [term("X")])
+        assert plan.modification_count() == 2

@@ -1,0 +1,91 @@
+"""Tests for the batch deterministic LR parser."""
+
+import pytest
+
+from repro.grammar import Grammar, parse_grammar_spec
+from repro.lexing import LexerSpec
+from repro.parser import LRParser, ParseError
+from repro.tables import ParseTable, TableError
+
+
+def make_language(dsl):
+    spec = parse_grammar_spec(dsl)
+    return ParseTable(spec.grammar), LexerSpec.from_grammar_spec(spec)
+
+
+CALC = """
+%token NUM /[0-9]+/
+%left '+' '-'
+%left '*' '/'
+e : e '+' e | e '-' e | e '*' e | e '/' e | '(' e ')' | NUM ;
+"""
+
+
+class TestLRParser:
+    def test_parses_simple_expression(self):
+        table, lexer = make_language(CALC)
+        result = LRParser(table).parse(lexer.lex("1+2*3"))
+        assert result.root.symbol == "e"
+
+    def test_precedence_shapes_tree(self):
+        table, lexer = make_language(CALC)
+        root = LRParser(table).parse(lexer.lex("1+2*3")).root
+        # Left child of top-level '+' is e(1); right is e(2*3).
+        assert root.production.rhs == ("e", "+", "e")
+        right = root.kids[2]
+        assert right.production.rhs == ("e", "*", "e")
+
+    def test_left_associativity(self):
+        table, lexer = make_language(CALC)
+        root = LRParser(table).parse(lexer.lex("1-2-3")).root
+        # (1-2)-3, not 1-(2-3).
+        assert root.kids[0].production.rhs == ("e", "-", "e")
+
+    def test_nested_parens(self):
+        table, lexer = make_language(CALC)
+        result = LRParser(table).parse(lexer.lex("((1))"))
+        assert result.root.production.rhs == ("(", "e", ")")
+
+    def test_syntax_error_raises(self):
+        table, lexer = make_language(CALC)
+        with pytest.raises(ParseError):
+            LRParser(table).parse(lexer.lex("1++2"))
+
+    def test_error_at_eof(self):
+        table, lexer = make_language(CALC)
+        with pytest.raises(ParseError):
+            LRParser(table).parse(lexer.lex("1+"))
+
+    def test_conflicted_table_rejected(self):
+        table = ParseTable(
+            Grammar.from_rules({"E": [["E", "+", "E"], ["n"]]}, start="E")
+        )
+        with pytest.raises(TableError):
+            LRParser(table)
+
+    def test_stats_counted(self):
+        table, lexer = make_language(CALC)
+        result = LRParser(table).parse(lexer.lex("1+2"))
+        assert result.stats.shifts == 3
+        assert result.stats.reductions >= 3
+
+    def test_parents_are_set(self):
+        table, lexer = make_language(CALC)
+        root = LRParser(table).parse(lexer.lex("1+2")).root
+        for kid in root.kids:
+            assert kid.parent is root
+
+    def test_sequence_grammar(self):
+        table, lexer = make_language(
+            "%token ID /[a-z]+/\nprog : stmt* ;\nstmt : ID ';' ;"
+        )
+        result = LRParser(table).parse(lexer.lex("a; b; c;"))
+        assert result.root.symbol == "prog"
+        assert result.root.n_terms == 6
+
+    def test_empty_input_with_nullable_start(self):
+        table, lexer = make_language(
+            "%token ID /[a-z]+/\nprog : stmt* ;\nstmt : ID ';' ;"
+        )
+        result = LRParser(table).parse(lexer.lex(""))
+        assert result.root.n_terms == 0

@@ -1,0 +1,105 @@
+"""Tests for node retention (paper reference [25], section 3.3).
+
+Decomposed nodes rebuilt identically must come back as the *same
+objects*, so annotations attached by earlier passes survive reparsing.
+"""
+
+from repro import Document, Language
+from repro.dag import choice_points
+
+CALC = Language.from_dsl(
+    """
+%token NUM /[0-9]+/
+%token ID  /[a-zA-Z_][a-zA-Z0-9_]*/
+%left '+'
+%left '*'
+program : stmt* ;
+stmt : ID '=' e ';' ;
+e : e '+' e | e '*' e | NUM | ID ;
+"""
+)
+
+
+def stmt_nodes(doc):
+    return [
+        n
+        for n in doc.body.walk()
+        if not n.is_terminal and not n.is_symbol_node and n.symbol == "stmt"
+    ]
+
+
+class TestRetention:
+    def test_right_context_rebuild_reuses_nodes(self):
+        # Editing statement k invalidates the right context of statement
+        # k-1's trailing structure; the re-reduction must return the old
+        # node objects.
+        doc = Document(CALC, "a = 1; b = 2; c = 3;")
+        doc.parse()
+        before = {id(n): n for n in stmt_nodes(doc)}
+        doc.edit(doc.text.index("2"), 1, "9")
+        report = doc.parse()
+        after = stmt_nodes(doc)
+        reused = [n for n in after if id(n) in before]
+        # Only the edited statement is fresh.
+        assert len(after) - len(reused) == 1
+
+    def test_annotations_survive_reparse(self):
+        doc = Document(CALC, "a = 1; b = 2; c = 3;")
+        doc.parse()
+        for node in stmt_nodes(doc):
+            node.set_annotation("touched", node.kids[0].text)
+        doc.edit(doc.text.index("2"), 1, "9")
+        doc.parse()
+        annotated = {
+            n.get_annotation("touched")
+            for n in stmt_nodes(doc)
+            if n.get_annotation("touched")
+        }
+        # a's and c's statements kept their annotations.
+        assert {"a", "c"} <= annotated
+
+    def test_stats_report_reuse(self):
+        # Editing the *leading* token of statement b invalidates the
+        # right context of statement a, which is then rebuilt with
+        # identical children -- the retention case.
+        doc = Document(CALC, "a = 1; b = 2; c = 3;")
+        doc.parse()
+        doc.edit(doc.text.index("b"), 1, "zz")
+        report = doc.parse()
+        assert report.stats.nodes_reused > 0
+
+    def test_retention_can_be_disabled(self):
+        from repro.parser import IGLRParser
+
+        doc = Document(CALC, "a = 1; b = 2; c = 3;")
+        doc.parse()
+        doc.edit(doc.text.index("b"), 1, "zz")
+        # Re-run the underlying parser with retention off.
+        doc._parser = IGLRParser(CALC.table, reuse_nodes=False)
+        report = doc.parse()
+        assert report.stats.nodes_reused == 0
+
+    def test_retention_in_lr_engine(self):
+        doc = Document(CALC, "a = 1; b = 2; c = 3;", engine="lr")
+        doc.parse()
+        doc.edit(doc.text.index("b"), 1, "zz")
+        report = doc.parse()
+        assert report.stats.nodes_reused > 0
+
+    def test_filtered_annotation_survives_adjacent_edit(self):
+        from repro.langs.minic import minic_language
+        from repro.semantics import TypedefAnalyzer, is_rejected
+
+        text = "typedef int a;\nint f() {\n  a (b);\n  int i;\n  i = 1;\n}\n"
+        doc = Document(minic_language(), text)
+        doc.parse()
+        TypedefAnalyzer(doc).analyze()
+        choice = choice_points(doc.tree)[0]
+        rejected_before = [a for a in choice.alternatives if is_rejected(a)]
+        assert rejected_before
+        # Edit a statement *after* the ambiguous region.
+        doc.edit(doc.text.index("i = 1;") + 4, 1, "42")
+        doc.parse()
+        new_choice = choice_points(doc.tree)[0]
+        assert new_choice is choice  # region untouched, node retained
+        assert [a for a in new_choice.alternatives if is_rejected(a)]

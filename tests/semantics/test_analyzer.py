@@ -1,0 +1,233 @@
+"""Tests for semantic disambiguation of the typedef problem."""
+
+import pytest
+
+from repro import Document
+from repro.dag import choice_points
+from repro.langs.minic import is_decl_alternative, is_stmt_alternative, minic_language
+from repro.semantics import TypedefAnalyzer, is_rejected, resolved_view
+
+FIGURE_1 = """
+typedef int a;
+int c;
+int foo() {
+  int i; int j;
+  a (b);
+  c (d);
+  i = 1;
+  j = 2;
+}
+"""
+
+
+def analyzed_doc(text):
+    doc = Document(minic_language(), text)
+    doc.parse()
+    analyzer = TypedefAnalyzer(doc)
+    report = analyzer.analyze()
+    return doc, analyzer, report
+
+
+class TestFigure1:
+    def test_two_ambiguous_items(self):
+        doc, _, report = analyzed_doc(FIGURE_1)
+        assert len(report.decisions) == 2
+
+    def test_typedef_name_selects_declaration(self):
+        doc, _, report = analyzed_doc(FIGURE_1)
+        by_name = {d.name: d for d in report.decisions}
+        assert by_name["a"].resolved_as == "decl"
+
+    def test_ordinary_name_selects_statement(self):
+        doc, _, report = analyzed_doc(FIGURE_1)
+        by_name = {d.name: d for d in report.decisions}
+        assert by_name["c"].resolved_as == "stmt"
+
+    def test_rejected_alternative_retained(self):
+        doc, _, report = analyzed_doc(FIGURE_1)
+        decision = next(d for d in report.decisions if d.name == "a")
+        rejected = [
+            alt for alt in decision.choice.alternatives if is_rejected(alt)
+        ]
+        kept = [
+            alt for alt in decision.choice.alternatives if not is_rejected(alt)
+        ]
+        assert len(rejected) == 1 and len(kept) == 1
+        assert is_stmt_alternative(rejected[0])
+        assert is_decl_alternative(kept[0])
+
+    def test_resolved_view_looks_through_choice(self):
+        doc, _, report = analyzed_doc(FIGURE_1)
+        decision = next(d for d in report.decisions if d.name == "a")
+        view = resolved_view(decision.choice)
+        assert not view.is_symbol_node
+        assert is_decl_alternative(view)
+
+    def test_typedef_names_collected(self):
+        _, _, report = analyzed_doc(FIGURE_1)
+        assert report.typedef_names == {"a"}
+
+    def test_no_errors_in_correct_program(self):
+        _, _, report = analyzed_doc(FIGURE_1)
+        assert report.errors == []
+
+
+class TestScoping:
+    def test_inner_scope_shadows_typedef(self):
+        text = """
+typedef int t;
+int foo() {
+  int t;
+  t (x);
+}
+"""
+        _, _, report = analyzed_doc(text)
+        decision = report.decisions[0]
+        # Inside foo, t is an ordinary variable: expression statement.
+        assert decision.resolved_as == "stmt"
+
+    def test_typedef_inside_block_scope(self):
+        text = """
+int foo() {
+  typedef int u;
+  u (x);
+}
+"""
+        _, _, report = analyzed_doc(text)
+        assert report.decisions[0].resolved_as == "decl"
+
+    def test_parameter_binding_is_ordinary(self):
+        text = """
+typedef int p;
+int foo(int p) {
+  p (x);
+}
+"""
+        _, _, report = analyzed_doc(text)
+        assert report.decisions[0].resolved_as == "stmt"
+
+    def test_function_name_is_ordinary(self):
+        text = """
+int f() { ; }
+int goo() {
+  f (x);
+}
+"""
+        _, _, report = analyzed_doc(text)
+        assert report.decisions[0].resolved_as == "stmt"
+
+    def test_pointer_declaration_ambiguity(self):
+        text = """
+typedef int a;
+int b;
+int foo() {
+  a * x;
+  b * x;
+}
+"""
+        doc, _, report = analyzed_doc(text)
+        by_name = {d.name: d for d in report.decisions}
+        assert by_name["a"].resolved_as == "decl"
+        assert by_name["b"].resolved_as == "stmt"
+
+
+class TestErrorRetention:
+    def test_unbound_name_stays_unresolved(self):
+        text = """
+int foo() {
+  q (x);
+}
+"""
+        _, _, report = analyzed_doc(text)
+        assert len(report.unresolved) == 1
+        assert report.errors
+
+    def test_unresolved_choice_keeps_all_alternatives(self):
+        text = """
+int foo() {
+  q (x);
+}
+"""
+        doc, _, report = analyzed_doc(text)
+        choice = report.unresolved[0].choice
+        assert all(not is_rejected(alt) for alt in choice.alternatives)
+        assert resolved_view(choice) is choice
+
+    def test_unknown_type_name_reported(self):
+        text = "nosuch x;\n"
+        _, _, report = analyzed_doc(text)
+        assert any("unknown type" in e for e in report.errors)
+
+
+class TestIncrementalUpdate:
+    def test_removing_typedef_flips_decl_to_unresolved(self):
+        doc, analyzer, report = analyzed_doc(FIGURE_1)
+        offset = doc.text.index("typedef int a;")
+        doc.delete(offset, len("typedef int a;"))
+        doc.parse()
+        update = analyzer.update()
+        assert not update.full_pass
+        assert update.sites_refiltered == 1
+        changed = update.decisions[0]
+        assert changed.name == "a"
+        assert changed.resolved_as is None  # a is now unbound
+
+    def test_removing_typedef_flips_to_call_when_bound(self):
+        text = """
+typedef int c;
+int foo() {
+  int i;
+  c (d);
+}
+int c() { ; }
+"""
+        # c is bound both as typedef (before) and as function (after);
+        # removing the typedef leaves the ordinary binding... but the
+        # function comes later, so in-scope lookup fails: unresolved.
+        doc, analyzer, report = analyzed_doc(text)
+        assert report.decisions[0].resolved_as == "decl"
+
+    def test_adding_typedef_flips_stmt_to_decl(self):
+        text = """
+int a;
+int foo() {
+  a (b);
+}
+"""
+        doc, analyzer, report = analyzed_doc(text)
+        assert report.decisions[0].resolved_as == "stmt"
+        doc.insert(0, "typedef int a;\n")
+        doc.parse()
+        update = analyzer.update()
+        assert not update.full_pass
+        assert update.decisions[0].resolved_as == "decl"
+
+    def test_unrelated_edit_triggers_full_pass(self):
+        doc, analyzer, report = analyzed_doc(FIGURE_1)
+        offset = doc.text.index("i = 1;")
+        doc.edit(offset + 4, 1, "42")
+        doc.parse()
+        update = analyzer.update()
+        assert update.full_pass
+
+    def test_update_without_changes_is_full_pass(self):
+        doc, analyzer, _ = analyzed_doc(FIGURE_1)
+        doc.parse()
+        update = analyzer.update()
+        assert update.full_pass
+
+    def test_reanalysis_after_edit_creating_ambiguity(self):
+        doc, analyzer, report = analyzed_doc("int foo() { int i; }\n")
+        assert report.decisions == []
+        doc.insert(doc.text.index("}"), "i (j); ")
+        doc.parse()
+        update = analyzer.update()
+        assert update.full_pass
+        assert update.decisions[0].resolved_as == "stmt"
+
+
+class TestAnalyzerErrors:
+    def test_unparsed_document_rejected(self):
+        doc = Document(minic_language(), "int x;")
+        with pytest.raises(ValueError):
+            TypedefAnalyzer(doc).analyze()

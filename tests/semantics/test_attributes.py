@@ -1,0 +1,140 @@
+"""Tests for incremental synthesized attributes."""
+
+from repro import Document, Language
+from repro.semantics.attributes import (
+    AttributeEvaluator,
+    standard_evaluator,
+    subtree_size,
+)
+
+LANG = Language.from_dsl(
+    """
+%token NUM /[0-9]+/
+%token ID /[a-z]+/
+%left '+'
+program : stmt* ;
+stmt : ID '=' e ';' ;
+e : e '+' e | NUM | ID ;
+"""
+)
+
+
+def parsed(text):
+    doc = Document(LANG, text)
+    doc.parse()
+    return doc
+
+
+class TestEvaluation:
+    def test_size_attribute(self):
+        doc = parsed("a = 1;")
+        ev = standard_evaluator()
+        # program -> seq(seq-eps, stmt(ID = e(NUM) ;)): 9 nodes.
+        assert ev(doc.body, "size") == 9
+
+    def test_depth_attribute(self):
+        doc = parsed("a = 1;")
+        ev = standard_evaluator()
+        assert ev(doc.body, "depth") == 5
+
+    def test_caching(self):
+        doc = parsed("a = 1; b = 2;")
+        ev = standard_evaluator()
+        first = ev(doc.body, "size")
+        count = ev.evaluations
+        assert ev(doc.body, "size") == first
+        assert ev.evaluations == count  # fully cached
+
+    def test_custom_attribute(self):
+        doc = parsed("a = 1 + 2; b = 3;")
+        ev = AttributeEvaluator()
+
+        def numerals(e, node):
+            if node.is_terminal:
+                return [node.text] if node.symbol == "NUM" else []
+            out = []
+            for kid in node.kids:
+                out.extend(e(kid, "nums"))
+            return out
+
+        ev.define("nums", numerals)
+        assert ev(doc.body, "nums") == ["1", "2", "3"]
+
+
+class TestIncrementality:
+    def test_edit_recomputes_only_fresh_spine(self):
+        doc = parsed("a = 1; b = 2; c = 3; d = 4; e = 5;")
+        ev = standard_evaluator()
+        ev(doc.body, "size")
+        full_cost = ev.evaluations
+        # Edit one statement; retained nodes keep their cached values.
+        doc.edit(doc.text.index("3"), 1, "77")
+        doc.parse()
+        ev.evaluations = 0
+        ev(doc.body, "size")
+        incremental_cost = ev.evaluations
+        assert incremental_cost < full_cost / 2
+
+    def test_values_correct_after_edit(self):
+        doc = parsed("a = 1; b = 2;")
+        ev = standard_evaluator()
+        before = ev(doc.body, "size")
+        doc.edit(doc.text.index("2"), 1, "2 + 9")
+        doc.parse()
+        after = ev(doc.body, "size")
+        assert after == before + 4  # e(+), e(NUM), NUM, '+' nodes
+
+    def test_invalidate_subtree(self):
+        doc = parsed("a = 1;")
+        ev = standard_evaluator()
+        ev(doc.body, "size")
+        ev.invalidate(doc.body)
+        ev.evaluations = 0
+        ev(doc.body, "size")
+        assert ev.evaluations > 0
+
+    def test_invalidate_single_name(self):
+        doc = parsed("a = 1;")
+        ev = standard_evaluator()
+        ev(doc.body, "size")
+        ev(doc.body, "depth")
+        ev.invalidate(doc.body, "size")
+        ev.evaluations = 0
+        ev(doc.body, "depth")
+        assert ev.evaluations == 0  # depth cache untouched
+
+
+class TestChoicePoints:
+    AMBIG = Language.from_dsl(
+        "%token NUM /[0-9]+/\ne : e '+' e | NUM ;"
+    )
+
+    def test_undecided_choice_uses_combiner(self):
+        doc = Document(self.AMBIG, "1+2+3")
+        doc.parse()
+        ev = standard_evaluator()
+        # max over alternatives: both have the same depth here anyway.
+        assert ev(doc.body, "depth") >= 3
+
+    def test_decided_choice_uses_selection(self):
+        from repro.dag import choice_points
+        from repro.semantics import reject
+
+        doc = Document(self.AMBIG, "1+2+3")
+        doc.parse()
+        choice = choice_points(doc.tree)[0]
+        ev = AttributeEvaluator()
+
+        def left_leaning(e, node):
+            if node.is_terminal:
+                return 0
+            if node.kids and not node.kids[0].is_terminal:
+                return 1 + e(node.kids[0], "lean")
+            return 0
+
+        ev.define("lean", left_leaning, choice_combiner=max)
+        undecided = ev(choice, "lean")
+        reject(choice.alternatives[0], "test")
+        ev.invalidate(choice, "lean")
+        decided = ev(choice, "lean")
+        assert decided == ev(choice.alternatives[1], "lean")

@@ -1,0 +1,143 @@
+"""Unit tests for the disambiguation-filter framework."""
+
+from repro import Document, Language
+from repro.dag import choice_points
+from repro.dag.nodes import ProductionNode, SymbolNode, TerminalNode
+from repro.grammar import Production
+from repro.lexing import Token
+from repro.semantics import (
+    accept,
+    apply_syntactic_filters,
+    is_rejected,
+    prefer_tagged,
+    production_tags,
+    reject,
+    reset_choice,
+    resolved_view,
+    semantic_select,
+)
+
+
+def term(text):
+    return TerminalNode(Token(text, text))
+
+
+def alt(lhs, tag, *kids):
+    return ProductionNode(
+        Production(0, lhs, tuple(k.symbol for k in kids), tags=(tag,)),
+        tuple(kids),
+    )
+
+
+def choice_of(*alternatives):
+    choice = SymbolNode(alternatives[0])
+    for a in alternatives[1:]:
+        choice.add_choice(a)
+    return choice
+
+
+class TestRejectAccept:
+    def test_reject_marks_and_retains(self):
+        a = alt("S", "x", term("t"))
+        reject(a, "because")
+        assert is_rejected(a)
+        assert a.get_annotation("filter_reason") == "because"
+
+    def test_accept_reverses(self):
+        a = alt("S", "x", term("t"))
+        reject(a)
+        accept(a)
+        assert not is_rejected(a)
+
+    def test_reset_choice(self):
+        c = choice_of(alt("S", "p", term("t")), alt("S", "q", term("t")))
+        reject(c.alternatives[0])
+        reset_choice(c)
+        assert not any(is_rejected(a) for a in c.alternatives)
+
+
+class TestSemanticSelect:
+    def test_unique_survivor_selected(self):
+        c = choice_of(alt("S", "p", term("t")), alt("S", "q", term("t")))
+        winner = semantic_select(
+            c, lambda a: "p" in production_tags(a), "prefer p"
+        )
+        assert winner is c.alternatives[0]
+        assert c.selected() is winner
+        assert is_rejected(c.alternatives[1])
+
+    def test_no_survivor_retains_everything(self):
+        c = choice_of(alt("S", "p", term("t")), alt("S", "q", term("t")))
+        winner = semantic_select(c, lambda a: False, "nothing fits")
+        assert winner is None
+        assert not any(is_rejected(a) for a in c.alternatives)
+
+    def test_multiple_survivors_undecided(self):
+        c = choice_of(alt("S", "p", term("t")), alt("S", "q", term("t")))
+        assert semantic_select(c, lambda a: True, "all fit") is None
+        assert c.selected() is None
+
+
+class TestResolvedView:
+    def test_plain_node_is_itself(self):
+        node = alt("S", "p", term("t"))
+        assert resolved_view(node) is node
+
+    def test_decided_choice_looks_through(self):
+        c = choice_of(alt("S", "p", term("t")), alt("S", "q", term("t")))
+        semantic_select(c, lambda a: "p" in production_tags(a), "r")
+        assert resolved_view(c).production.tags == ("p",)
+
+    def test_undecided_choice_returns_choice(self):
+        c = choice_of(alt("S", "p", term("t")), alt("S", "q", term("t")))
+        assert resolved_view(c) is c
+
+
+class TestProductionTags:
+    def test_direct_tags(self):
+        assert production_tags(alt("S", "p", term("t"))) == {"p"}
+
+    def test_unit_chain_tags(self):
+        inner = alt("T", "inner", term("t"))
+        outer = alt("S", "outer", inner)
+        assert production_tags(outer) == {"outer", "inner"}
+
+    def test_terminal_has_no_tags(self):
+        assert production_tags(term("t")) == set()
+
+
+class TestSyntacticFilters:
+    DANGLING = Language.from_dsl(
+        """
+s : 'if' 'e' 'then' s            @if_then
+  | 'if' 'e' 'then' s 'else' s   @if_else
+  | 'x'
+  ;
+"""
+    )
+
+    def test_prefer_tagged_collapses(self):
+        doc = Document(self.DANGLING, "if e then if e then x else x")
+        doc.parse()
+        point = choice_points(doc.tree)[0]
+        winner = prefer_tagged(point, "if_else")
+        assert winner is not None
+        assert len(point.alternatives) == 1
+
+    def test_prefer_tagged_nondiscriminating_returns_none(self):
+        c = choice_of(alt("S", "p", term("t")), alt("S", "p", term("t")))
+        assert prefer_tagged(c, "nope") is None
+        assert len(c.alternatives) == 2
+
+    def test_apply_syntactic_filters(self):
+        doc = Document(self.DANGLING, "if e then if e then x else x")
+        doc.parse()
+        collapsed = apply_syntactic_filters(doc.tree, [("s", "if_else")])
+        assert collapsed == 1
+        assert not choice_points(doc.tree)
+
+    def test_filters_ignore_other_symbols(self):
+        doc = Document(self.DANGLING, "if e then if e then x else x")
+        doc.parse()
+        assert apply_syntactic_filters(doc.tree, [("zzz", "if_else")]) == 0
+        assert choice_points(doc.tree)

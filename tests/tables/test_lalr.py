@@ -1,0 +1,152 @@
+"""Tests for LALR(1) lookahead computation and the digraph algorithm."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar import EOF, Grammar, GrammarAnalysis
+from repro.tables import LALRLookaheads, LR0Automaton, digraph
+
+
+def lookaheads_for(rules, start):
+    grammar = Grammar.from_rules(rules, start=start).augmented()
+    auto = LR0Automaton(grammar)
+    return auto, LALRLookaheads(auto, GrammarAnalysis(grammar))
+
+
+class TestDigraph:
+    def test_no_edges_returns_base(self):
+        result = digraph([1, 2], lambda n: [], lambda n: frozenset({str(n)}))
+        assert result == {1: frozenset({"1"}), 2: frozenset({"2"})}
+
+    def test_chain_propagates(self):
+        edges = {1: [2], 2: [3], 3: []}
+        result = digraph(
+            [1, 2, 3], lambda n: edges[n], lambda n: frozenset({str(n)})
+        )
+        assert result[1] == {"1", "2", "3"}
+        assert result[3] == {"3"}
+
+    def test_cycle_merges_scc(self):
+        edges = {1: [2], 2: [1], 3: [1]}
+        result = digraph(
+            [1, 2, 3], lambda n: edges[n], lambda n: frozenset({str(n)})
+        )
+        assert result[1] == result[2] == {"1", "2"}
+        assert result[3] == {"1", "2", "3"}
+
+    def test_diamond(self):
+        edges = {1: [2, 3], 2: [4], 3: [4], 4: []}
+        result = digraph(
+            [1, 2, 3, 4], lambda n: edges[n], lambda n: frozenset({str(n)})
+        )
+        assert result[1] == {"1", "2", "3", "4"}
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 7),
+            st.lists(st.integers(0, 7), max_size=4),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_solution_is_closed_and_contains_base(self, raw_edges):
+        nodes = sorted(set(raw_edges) | {m for vs in raw_edges.values() for m in vs})
+        edges = {n: [m for m in raw_edges.get(n, []) if m in nodes] for n in nodes}
+        base = {n: frozenset({f"b{n}"}) for n in nodes}
+        result = digraph(nodes, lambda n: edges[n], lambda n: base[n])
+        for n in nodes:
+            assert base[n] <= result[n]
+            for m in edges[n]:
+                assert result[m] <= result[n]
+
+
+class TestLALRLookaheads:
+    def test_slr_inadequate_grammar_is_lalr(self):
+        # Classic: S -> L = R | R ; L -> * R | id ; R -> L.
+        # SLR has a shift/reduce conflict on '='; LALR does not, because
+        # LA(R -> L) excludes '=' in the critical state.
+        auto, la = lookaheads_for(
+            {
+                "S": [["L", "=", "R"], ["R"]],
+                "L": [["*", "R"], ["id"]],
+                "R": [["L"]],
+            },
+            "S",
+        )
+        # Find the state reached by shifting L from the start state.
+        state = auto.goto(0, "L")
+        r_to_l = next(
+            p.index
+            for p in auto.grammar.productions
+            if p.lhs == "R" and p.rhs == ("L",)
+        )
+        assert "=" not in la.lookahead(state, r_to_l)
+
+    def test_simple_follow_lookahead(self):
+        auto, la = lookaheads_for({"S": [["A", "b"]], "A": [["a"]]}, "S")
+        state = auto.spell(0, ("a",))
+        a_prod = next(
+            p.index for p in auto.grammar.productions if p.lhs == "A"
+        )
+        assert la.lookahead(state, a_prod) == {"b"}
+
+    def test_start_reduction_sees_eof(self):
+        auto, la = lookaheads_for({"S": [["a"]]}, "S")
+        state = auto.spell(0, ("a",))
+        s_prod = next(
+            p.index for p in auto.grammar.productions if p.lhs == "S"
+        )
+        assert la.lookahead(state, s_prod) == {EOF}
+
+    def test_nullable_gamma_includes(self):
+        # B -> A C with C nullable: FOLLOW(A) must include FOLLOW(B).
+        auto, la = lookaheads_for(
+            {
+                "S": [["B", "x"]],
+                "B": [["A", "C"]],
+                "A": [["a"]],
+                "C": [["c"], []],
+            },
+            "S",
+        )
+        state = auto.spell(0, ("a",))
+        a_prod = next(
+            p.index for p in auto.grammar.productions if p.lhs == "A"
+        )
+        assert la.lookahead(state, a_prod) == {"c", "x"}
+
+    def test_left_recursive_list(self):
+        auto, la = lookaheads_for(
+            {"L": [["L", "i"], ["i"]]},
+            "L",
+        )
+        state = auto.spell(0, ("i",))
+        base = next(
+            p.index
+            for p in auto.grammar.productions
+            if p.lhs == "L" and p.rhs == ("i",)
+        )
+        assert la.lookahead(state, base) == {"i", EOF}
+
+    def test_lr2_grammar_has_overlapping_lookaheads(self):
+        # Figure 7: U -> x and V -> x both see 'z' -- the table cannot
+        # decide with one token; LALR lookaheads overlap.
+        auto, la = lookaheads_for(
+            {
+                "A": [["B", "c"], ["D", "e"]],
+                "B": [["U", "z"]],
+                "D": [["V", "z"]],
+                "U": [["x"]],
+                "V": [["x"]],
+            },
+            "A",
+        )
+        state = auto.spell(0, ("x",))
+        u_prod = next(
+            p.index for p in auto.grammar.productions if p.lhs == "U"
+        )
+        v_prod = next(
+            p.index for p in auto.grammar.productions if p.lhs == "V"
+        )
+        assert la.lookahead(state, u_prod) & la.lookahead(state, v_prod) == {"z"}

@@ -1,0 +1,84 @@
+"""Tests for LR(0) automaton construction."""
+
+from repro.grammar import START, Grammar
+from repro.tables import Item, LR0Automaton
+
+
+def expr_grammar() -> Grammar:
+    return Grammar.from_rules(
+        {
+            "E": [["E", "+", "T"], ["T"]],
+            "T": [["T", "*", "F"], ["F"]],
+            "F": [["(", "E", ")"], ["num"]],
+        },
+        start="E",
+    )
+
+
+class TestAutomaton:
+    def test_classic_expression_grammar_state_count(self):
+        # The textbook LR(0) automaton for this grammar has 12 states.
+        auto = LR0Automaton(expr_grammar())
+        assert len(auto) == 12
+
+    def test_start_state_kernel(self):
+        auto = LR0Automaton(expr_grammar())
+        assert auto.states[0].kernel == frozenset([Item(0, 0)])
+
+    def test_closure_expands_nonterminals(self):
+        auto = LR0Automaton(expr_grammar())
+        closure = auto.states[0].closure
+        lhss = {auto.production_of(i).lhs for i in closure}
+        assert lhss == {START, "E", "T", "F"}
+
+    def test_goto_on_terminal_and_nonterminal(self):
+        auto = LR0Automaton(expr_grammar())
+        s_num = auto.goto(0, "num")
+        s_e = auto.goto(0, "E")
+        assert s_num is not None and s_e is not None and s_num != s_e
+
+    def test_goto_undefined(self):
+        auto = LR0Automaton(expr_grammar())
+        assert auto.goto(0, ")") is None
+
+    def test_states_are_deduplicated(self):
+        auto = LR0Automaton(expr_grammar())
+        kernels = [s.kernel for s in auto.states]
+        assert len(kernels) == len(set(kernels))
+
+    def test_spell_follows_production(self):
+        auto = LR0Automaton(expr_grammar())
+        state = auto.spell(0, ("E", "+", "T"))
+        assert state is not None
+        final_items = [i for i in auto.states[state].kernel if auto.is_final(i)]
+        assert any(
+            auto.production_of(i).rhs == ("E", "+", "T") for i in final_items
+        )
+
+    def test_spell_undefined_path(self):
+        auto = LR0Automaton(expr_grammar())
+        assert auto.spell(0, (")", ")")) is None
+
+    def test_reductions_in_final_states(self):
+        auto = LR0Automaton(expr_grammar())
+        num_state = auto.goto(0, "num")
+        reductions = auto.reductions_in(num_state)
+        assert len(reductions) == 1
+        assert auto.production_of(reductions[0]).rhs == ("num",)
+
+    def test_nonterminal_transitions(self):
+        auto = LR0Automaton(expr_grammar())
+        nts = set(auto.nonterminal_transitions())
+        assert (0, "E") in nts and (0, "T") in nts and (0, "F") in nts
+
+    def test_epsilon_production_reducible_immediately(self):
+        g = Grammar.from_rules({"S": [["A", "x"]], "A": [[]]}, start="S")
+        auto = LR0Automaton(g)
+        reds = auto.reductions_in(0)
+        assert any(auto.production_of(i).is_epsilon for i in reds)
+
+    def test_dump_mentions_every_state(self):
+        auto = LR0Automaton(expr_grammar())
+        text = auto.dump()
+        for i in range(len(auto)):
+            assert f"state {i}:" in text

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface and table diagnostics."""
+
+import pytest
+
+from repro.cli import main
+from repro.grammar import parse_grammar
+from repro.tables import ParseTable
+from repro.tables.diagnostics import conflict_report, table_summary
+
+CALC_DSL = """
+%token NUM /[0-9]+/
+%token ID  /[a-zA-Z_][a-zA-Z0-9_]*/
+%left '+'
+%left '*'
+program : stmt* ;
+stmt : ID '=' e ';' ;
+e : e '+' e | e '*' e | NUM | ID ;
+"""
+
+AMBIG_DSL = """
+%token NUM /[0-9]+/
+e : e '+' e | NUM ;
+"""
+
+
+@pytest.fixture
+def calc_files(tmp_path):
+    grammar = tmp_path / "calc.g"
+    grammar.write_text(CALC_DSL)
+    source = tmp_path / "prog.calc"
+    source.write_text("a = 1 + 2; b = a * 3;")
+    return str(grammar), str(source)
+
+
+class TestCli:
+    def test_grammar_command(self, calc_files, capsys):
+        grammar, _ = calc_files
+        assert main(["grammar", grammar]) == 0
+        out = capsys.readouterr().out
+        assert "LALR(1), deterministic" in out
+        assert "no conflicts" in out
+
+    def test_grammar_command_with_conflicts(self, tmp_path, capsys):
+        path = tmp_path / "ambig.g"
+        path.write_text(AMBIG_DSL)
+        assert main(["grammar", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "shift/reduce" in out
+        assert "e -> e · + e" in out
+
+    def test_slr_method_flag(self, calc_files, capsys):
+        grammar, _ = calc_files
+        assert main(["--method", "slr", "grammar", grammar]) == 0
+        assert "SLR(1)" in capsys.readouterr().out
+
+    def test_tokens_command(self, calc_files, capsys):
+        grammar, source = calc_files
+        assert main(["tokens", grammar, source]) == 0
+        out = capsys.readouterr().out
+        assert "NUM" in out and "'a'" in out
+
+    def test_parse_command(self, calc_files, capsys):
+        grammar, source = calc_files
+        assert main(["parse", grammar, source]) == 0
+        out = capsys.readouterr().out
+        assert "shifts" in out and "ambiguous regions: 0" in out
+
+    def test_parse_tree_output(self, calc_files, capsys):
+        grammar, source = calc_files
+        assert main(["parse", grammar, source, "--tree", "--max-depth", "2"]) == 0
+        assert "program" in capsys.readouterr().out
+
+    def test_parse_balanced(self, calc_files, capsys):
+        grammar, source = calc_files
+        assert main(["parse", grammar, source, "--balanced"]) == 0
+
+    def test_edit_command(self, calc_files, capsys):
+        grammar, source = calc_files
+        assert main(["edit", grammar, source, "4:1:42"]) == 0
+        out = capsys.readouterr().out
+        assert "work=" in out
+        assert "a = 42 + 2" in out
+
+    def test_edit_deletion(self, calc_files, capsys):
+        grammar, source = calc_files
+        assert main(["edit", grammar, source, "0:11:"]) == 0
+        assert "b = a * 3;" in capsys.readouterr().out
+
+    def test_edit_deferred_reports(self, calc_files, capsys):
+        grammar, source = calc_files
+        assert main(["edit", grammar, source, "0:1:((("]) == 0
+        assert "[edits deferred]" in capsys.readouterr().out
+
+    def test_missing_file(self, calc_files, capsys):
+        grammar, _ = calc_files
+        assert main(["parse", grammar, "/nonexistent"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDiagnostics:
+    def test_summary_fields(self):
+        table = ParseTable(parse_grammar(AMBIG_DSL))
+        text = table_summary(table)
+        assert "states:" in text and "conflicts:    1" in text
+
+    def test_conflict_report_lists_items_and_actions(self):
+        table = ParseTable(parse_grammar(AMBIG_DSL))
+        report = conflict_report(table)
+        assert "lookahead '+'" in report
+        assert "reduce e -> e + e" in report
+        assert "shift, goto state" in report
+
+    def test_deterministic_report(self):
+        table = ParseTable(parse_grammar("%token N /[0-9]+/\ns : N ;"))
+        assert "no conflicts" in conflict_report(table)
+
+    def test_epsilon_production_rendering(self):
+        table = ParseTable(parse_grammar("%token X /x/\ns : X opt ;\nopt : X? ;"))
+        # No crash on epsilon items; summary renders.
+        assert "states:" in table_summary(table)

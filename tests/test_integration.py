@@ -1,0 +1,116 @@
+"""Whole-pipeline integration tests: generator → parse → semantics → edits.
+
+These exercise the complete stack the way the benchmarks do, but with
+correctness assertions at every step.
+"""
+
+import pytest
+
+from repro import Document
+from repro.dag import (
+    ambiguity_overhead_percent,
+    choice_points,
+    measure_space,
+    unparse,
+)
+from repro.langs.generators import generate_minic
+from repro.langs.minic import minic_language
+from repro.parser import enumerate_trees
+from repro.semantics import TypedefAnalyzer, resolved_view
+
+
+@pytest.fixture(scope="module")
+def generated_doc():
+    text = generate_minic(250, seed=77, ambiguity_density=0.02)
+    doc = Document(minic_language(), text)
+    doc.parse()
+    return doc
+
+
+class TestGeneratedPrograms:
+    def test_text_roundtrip(self, generated_doc):
+        assert unparse(generated_doc.tree) == generated_doc.text
+
+    def test_has_ambiguities(self, generated_doc):
+        assert choice_points(generated_doc.tree)
+
+    def test_space_overhead_small(self, generated_doc):
+        assert 0 < ambiguity_overhead_percent(generated_doc.tree) < 2.0
+
+    def test_all_choices_semantically_resolvable(self, generated_doc):
+        analyzer = TypedefAnalyzer(generated_doc)
+        report = analyzer.analyze()
+        # The generator only emits ambiguous statements whose leading
+        # name is bound, so everything resolves.
+        assert report.unresolved == []
+        assert report.decisions
+        for decision in report.decisions:
+            assert not resolved_view(decision.choice).is_symbol_node
+
+    def test_decisions_match_generator_intent(self, generated_doc):
+        analyzer = TypedefAnalyzer(generated_doc)
+        report = analyzer.analyze()
+        for decision in report.decisions:
+            if decision.name.startswith("T"):
+                assert decision.resolved_as == "decl"
+            else:
+                assert decision.resolved_as == "stmt"
+
+
+class TestEditAnalyzeCycles:
+    def test_repeated_edit_analyze_cycles(self):
+        text = generate_minic(120, seed=5, ambiguity_density=0.02)
+        doc = Document(minic_language(), text)
+        doc.parse()
+        analyzer = TypedefAnalyzer(doc)
+        analyzer.analyze()
+        for i in range(5):
+            # Rename a numeric literal somewhere in the file.
+            offset = doc.text.index(f"= {i};") + 2 if f"= {i};" in doc.text else 0
+            if offset:
+                doc.edit(offset, 1, str(90 + i))
+            else:
+                doc.insert(len(doc.text), f"int extra{i};\n")
+            doc.parse()
+            report = analyzer.update()
+            assert doc.source_text() == doc.text
+            assert report is not None
+
+    def test_incremental_matches_batch_on_generated_minic(self):
+        text = generate_minic(100, seed=9, ambiguity_density=0.01)
+        doc = Document(minic_language(), text)
+        doc.parse()
+        offset = text.index("int ")
+        doc.edit(offset + 4, 0, "q")
+        doc.parse()
+        fresh = Document(minic_language(), doc.text)
+        fresh.parse()
+        assert sorted(enumerate_trees(doc.body, limit=5000)) == sorted(
+            enumerate_trees(fresh.body, limit=5000)
+        )
+
+    def test_balanced_pipeline_on_minic(self):
+        text = generate_minic(100, seed=11, ambiguity_density=0.01)
+        doc = Document(minic_language(), text, balanced_sequences=True)
+        doc.parse()
+        analyzer = TypedefAnalyzer(doc)
+        report = analyzer.analyze()
+        assert report.unresolved == []
+        # Edit inside a function body; everything stays consistent.
+        offset = doc.text.index("= ") + 2
+        doc.edit(offset, 1, "55")
+        doc.parse()
+        assert doc.source_text() == doc.text
+        analyzer.update()
+
+    def test_space_report_consistent_across_edits(self):
+        text = generate_minic(80, seed=3, ambiguity_density=0.02)
+        doc = Document(minic_language(), text)
+        doc.parse()
+        before = measure_space(doc.tree)
+        offset = doc.text.index("= ") + 2
+        doc.edit(offset, 1, "7")
+        doc.parse()
+        after = measure_space(doc.tree)
+        # One-token edit: node count changes by a handful at most.
+        assert abs(after.nodes - before.nodes) < 20

@@ -1,0 +1,335 @@
+"""End-to-end tests for incremental document analysis."""
+
+import pytest
+
+from repro import Document, Language
+from repro.dag import choice_points, unparse
+from repro.parser import ParseError
+
+CALC = """
+%token NUM /[0-9]+/
+%token ID  /[a-zA-Z_][a-zA-Z0-9_]*/
+%left '+' '-'
+%left '*' '/'
+%start program
+program : stmt* ;
+stmt : ID '=' e ';' ;
+e : e '+' e | e '-' e | e '*' e | e '/' e | '(' e ')' | NUM | ID ;
+"""
+
+AMBIG = """
+%token NUM /[0-9]+/
+e : e '+' e | NUM ;
+"""
+
+
+@pytest.fixture(scope="module")
+def calc():
+    return Language.from_dsl(CALC)
+
+
+@pytest.fixture(scope="module")
+def ambig():
+    return Language.from_dsl(AMBIG)
+
+
+class TestFirstParse:
+    def test_initial_parse_builds_tree(self, calc):
+        doc = Document(calc, "x = 1 + 2;")
+        doc.parse()
+        assert doc.body is not None
+        assert doc.body.symbol == "program"
+
+    def test_source_text_roundtrip(self, calc):
+        text = "x = 1 + 2;  y = x * 3;\n"
+        doc = Document(calc, text)
+        doc.parse()
+        assert doc.source_text() == text
+
+    def test_empty_document(self, calc):
+        doc = Document(calc, "")
+        doc.parse()
+        assert doc.body is not None and doc.body.n_terms == 0
+
+    def test_version_increments(self, calc):
+        doc = Document(calc, "x = 1;")
+        assert doc.version == 0
+        doc.parse()
+        assert doc.version == 1
+
+    def test_parse_error_keeps_document_unparsed(self, calc):
+        doc = Document(calc, "x = = 1;")
+        with pytest.raises(ParseError):
+            doc.parse(recover=False)
+        assert doc.tree is None
+
+
+class TestIncrementalReparse:
+    def test_token_replacement(self, calc):
+        doc = Document(calc, "x = 1 + 2;")
+        doc.parse()
+        doc.edit(4, 1, "7")
+        doc.parse()
+        assert doc.source_text() == "x = 7 + 2;"
+        assert doc.version == 2
+
+    def test_tree_matches_batch_parse(self, calc):
+        from repro.parser import enumerate_trees
+
+        doc = Document(calc, "x = 1 + 2;")
+        doc.parse()
+        doc.edit(8, 1, "9")
+        doc.parse()
+        fresh = Document(calc, doc.text)
+        fresh.parse()
+        assert enumerate_trees(doc.body) == enumerate_trees(fresh.body)
+
+    def test_insertion_of_statement(self, calc):
+        doc = Document(calc, "a = 1; c = 3;")
+        doc.parse()
+        doc.insert(7, "b = 2; ")
+        doc.parse()
+        assert doc.source_text() == "a = 1; b = 2; c = 3;"
+        assert len(doc.body.kids[0].kids) > 0
+
+    def test_deletion_of_statement(self, calc):
+        doc = Document(calc, "a = 1; b = 2; c = 3;")
+        doc.parse()
+        doc.delete(7, 7)
+        doc.parse()
+        assert doc.source_text() == "a = 1; c = 3;"
+
+    def test_unchanged_subtrees_are_reused(self, calc):
+        text = " ".join(f"v{i} = {i};" for i in range(30))
+        doc = Document(calc, text)
+        doc.parse()
+        before = doc.body
+        # Identify the subtree for the last statement.
+        old_stmts = [
+            n for n in doc.body.walk() if not n.is_terminal and n.symbol == "stmt"
+        ]
+        doc.edit(text.index("= 5;") + 2, 1, "55")
+        doc.parse()
+        new_stmts = [
+            n for n in doc.body.walk() if not n.is_terminal and n.symbol == "stmt"
+        ]
+        shared = {id(n) for n in old_stmts} & {id(n) for n in new_stmts}
+        # All but a couple of statements must be the same objects.
+        assert len(shared) >= len(new_stmts) - 2
+
+    def test_reuse_shows_in_stats(self, calc):
+        text = " ".join(f"v{i} = {i};" for i in range(30))
+        doc = Document(calc, text)
+        doc.parse()
+        doc.edit(len(text) - 2, 1, "9")
+        report = doc.parse()
+        assert report.stats.subtree_shifts > 0
+
+    def test_multiple_edits_before_reparse(self, calc):
+        doc = Document(calc, "a = 1; b = 2;")
+        doc.parse()
+        doc.edit(4, 1, "10")
+        doc.edit(len(doc.text) - 2, 1, "20")
+        doc.parse()
+        assert doc.source_text() == "a = 10; b = 20;"
+
+    def test_edit_at_start(self, calc):
+        doc = Document(calc, "a = 1;")
+        doc.parse()
+        doc.edit(0, 1, "zz")
+        doc.parse()
+        assert doc.source_text() == "zz = 1;"
+
+    def test_edit_at_end(self, calc):
+        doc = Document(calc, "a = 1;")
+        doc.parse()
+        doc.insert(6, " b = 2;")
+        doc.parse()
+        assert doc.source_text() == "a = 1; b = 2;"
+
+    def test_delete_everything(self, calc):
+        doc = Document(calc, "a = 1;")
+        doc.parse()
+        doc.delete(0, 6)
+        doc.parse()
+        assert doc.source_text() == ""
+        assert doc.body.n_terms == 0
+
+    def test_whitespace_edit_preserves_structure(self, calc):
+        doc = Document(calc, "a = 1;")
+        doc.parse()
+        body_before = doc.body
+        doc.insert(1, "   ")
+        doc.parse()
+        assert doc.source_text() == "a    = 1;"
+        assert doc.body.symbol == "program"
+
+    def test_self_cancelling_edit(self, calc):
+        doc = Document(calc, "a = 1 + 2;")
+        doc.parse()
+        doc.edit(4, 1, "9")
+        doc.parse()
+        doc.edit(4, 1, "1")
+        doc.parse()
+        assert doc.source_text() == "a = 1 + 2;"
+
+    def test_many_sequential_edits(self, calc):
+        doc = Document(calc, "a = 1;")
+        doc.parse()
+        for i in range(10):
+            doc.insert(len(doc.text), f" x{i} = {i};")
+            doc.parse()
+            assert doc.source_text() == doc.text
+
+
+class TestAmbiguousDocuments:
+    def test_ambiguity_reported(self, ambig):
+        doc = Document(ambig, "1+2+3")
+        report = doc.parse()
+        assert report.ambiguous_regions > 0
+        assert doc.is_ambiguous
+
+    def test_edit_inside_ambiguous_region(self, ambig):
+        doc = Document(ambig, "1+2+3")
+        doc.parse()
+        doc.edit(2, 1, "9")
+        doc.parse()
+        assert doc.source_text() == "1+9+3"
+        assert doc.is_ambiguous
+
+    def test_edit_removing_ambiguity(self, ambig):
+        doc = Document(ambig, "1+2+3")
+        doc.parse()
+        doc.delete(3, 2)  # now "1+2"
+        doc.parse()
+        assert not doc.is_ambiguous
+
+    def test_edit_creating_ambiguity(self, ambig):
+        doc = Document(ambig, "1+2")
+        doc.parse()
+        doc.insert(3, "+3")
+        doc.parse()
+        assert doc.is_ambiguous
+
+
+class TestDeterministicEngine:
+    def test_lr_engine_incremental(self, calc):
+        doc = Document(calc, "a = 1; b = 2;", engine="lr")
+        doc.parse()
+        doc.edit(4, 1, "7")
+        doc.parse()
+        assert doc.source_text() == "a = 7; b = 2;"
+
+    def test_sentential_form_engine(self, calc):
+        doc = Document(calc, "a = 1; b = 2;", engine="lr-sentential")
+        doc.parse()
+        doc.edit(4, 1, "7")
+        report = doc.parse()
+        assert doc.source_text() == "a = 7; b = 2;"
+
+    def test_engines_agree(self, calc):
+        from repro.parser import enumerate_trees
+
+        text = "a = 1 + 2 * 3; b = (4);"
+        docs = [
+            Document(calc, text, engine=e)
+            for e in ("iglr", "lr", "lr-sentential")
+        ]
+        trees = []
+        for doc in docs:
+            doc.parse()
+            doc.edit(4, 1, "9")
+            doc.parse()
+            trees.append(enumerate_trees(doc.body))
+        assert trees[0] == trees[1] == trees[2]
+
+    def test_unknown_engine_rejected(self, calc):
+        with pytest.raises(ValueError):
+            Document(calc, "", engine="martian")
+
+
+class TestErrorRecovery:
+    def test_bad_edit_is_reverted(self, calc):
+        doc = Document(calc, "a = 1;")
+        doc.parse()
+        doc.edit(2, 1, "= =")  # makes it unparsable
+        report = doc.parse()
+        assert not report.fully_incorporated
+        assert len(report.reverted_edits) == 1
+        assert doc.source_text() == "a = 1;"
+
+    def test_good_edits_kept_bad_reverted(self, calc):
+        doc = Document(calc, "a = 1;")
+        doc.parse()
+        doc.insert(6, " b = 2;")  # good
+        doc.insert(0, ";;; ")  # bad
+        report = doc.parse()
+        assert len(report.reverted_edits) == 1
+        assert doc.source_text() == "a = 1; b = 2;"
+
+    def test_recovery_disabled_raises(self, calc):
+        doc = Document(calc, "a = 1;")
+        doc.parse()
+        doc.edit(2, 1, "(")
+        with pytest.raises(ParseError):
+            doc.parse(recover=False)
+
+    def test_document_usable_after_recovery(self, calc):
+        doc = Document(calc, "a = 1;")
+        doc.parse()
+        doc.edit(2, 1, "(")
+        doc.parse()
+        doc.insert(len(doc.text), " c = 3;")
+        doc.parse()
+        assert doc.source_text() == "a = 1; c = 3;"
+
+
+class TestAmbiguityPreservation:
+    """An unchanged ambiguous region exposed by a nearby edit must keep
+    every interpretation (atomic non-deterministic regions, paper 5)."""
+
+    GRAMMAR = """
+%token NUM /[0-9]+/
+%token ID /[a-z]+/
+prog : item* ;
+item : ID '=' e ';' ;
+e : e '+' e | NUM ;
+"""
+
+    def test_edit_before_region_preserves_ambiguity(self):
+        lang = Language.from_dsl(self.GRAMMAR)
+        doc = Document(lang, "a = 1+2+3; b = 4;")
+        doc.parse()
+        assert doc.is_ambiguous
+        # Edit the second statement only.
+        doc.edit(doc.text.index("4"), 1, "9")
+        doc.parse()
+        assert doc.source_text() == "a = 1+2+3; b = 9;"
+        points = choice_points(doc.tree)
+        assert len(points) == 1
+        assert len(points[0].alternatives) == 2
+
+    def test_edit_after_region_preserves_ambiguity(self):
+        lang = Language.from_dsl(self.GRAMMAR)
+        doc = Document(lang, "b = 4; a = 1+2+3;")
+        doc.parse()
+        doc.edit(doc.text.index("4"), 1, "9")
+        doc.parse()
+        assert len(choice_points(doc.tree)) == 1
+
+    def test_incremental_equals_batch_on_ambiguous_docs(self):
+        from repro.parser import enumerate_trees
+
+        lang = Language.from_dsl(self.GRAMMAR)
+        text = "a = 1+2; b = 3+4+5; c = 6;"
+        doc = Document(lang, text)
+        doc.parse()
+        edits = [(5, 1, "7"), (len("a = 7; b = 3+4+5; c ="), 0, " 8 +"), (0, 1, "zz")]
+        for offset, removed, inserted in edits:
+            doc.edit(offset, removed, inserted)
+            doc.parse()
+            fresh = Document(lang, doc.text)
+            fresh.parse()
+            assert sorted(enumerate_trees(doc.body)) == sorted(
+                enumerate_trees(fresh.body)
+            ), doc.text

@@ -1,0 +1,152 @@
+"""Property tests: incremental analysis is indistinguishable from batch.
+
+The central correctness contract of the whole system (paper section 3.3:
+"The correctness of incremental GLR parsing can then be established by an
+induction over the input stream"): after any sequence of edits, the
+incrementally maintained DAG must describe exactly the same trees as a
+from-scratch parse of the final text -- for every engine, with and
+without balanced sequences, on deterministic and ambiguous grammars.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Document, Language
+from repro.dag import choice_points, unparse
+from repro.parser import ParseError, enumerate_trees
+
+CALC = Language.from_dsl(
+    """
+%token NUM /[0-9]+/
+%token ID  /[a-z]+/
+%left '+'
+%left '*'
+program : stmt* ;
+stmt : ID '=' e ';' ;
+e : e '+' e | e '*' e | NUM | ID ;
+"""
+)
+
+AMBIG = Language.from_dsl(
+    """
+%token NUM /[0-9]+/
+%token ID  /[a-z]+/
+program : stmt* ;
+stmt : ID '=' e ';' ;
+e : e '+' e | NUM | ID ;
+"""
+)
+
+_CHARS = "ab1 =+;*"
+
+
+def _apply_random_session(lang, engine, balanced, base, edits):
+    doc = Document(lang, base, engine=engine, balanced_sequences=balanced)
+    try:
+        doc.parse(recover=False)
+    except ParseError:
+        return None
+    for offset, removed, inserted in edits:
+        offset = min(offset, len(doc.text))
+        removed = min(removed, len(doc.text) - offset)
+        doc.edit(offset, removed, inserted)
+        try:
+            doc.parse(recover=False)
+        except ParseError:
+            # Restore by inverse edit so the session can continue.
+            edit = doc._edit_log[-1]
+            doc._edit_log.pop()
+            doc._apply_edit(
+                edit.offset, len(edit.inserted_text), edit.removed_text
+            )
+    return doc
+
+
+@st.composite
+def edit_session(draw):
+    n_statements = draw(st.integers(1, 8))
+    base = " ".join(
+        f"{chr(97 + i % 26)} = {i};" for i in range(n_statements)
+    )
+    edits = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 80),
+                st.integers(0, 6),
+                st.text(_CHARS, max_size=6),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    return base, edits
+
+
+@pytest.mark.parametrize("engine", ["iglr", "lr"])
+@given(session=edit_session())
+@settings(max_examples=60, deadline=None)
+def test_incremental_equals_batch_deterministic(engine, session):
+    base, edits = session
+    doc = _apply_random_session(CALC, engine, False, base, edits)
+    if doc is None:
+        return
+    fresh = Document(CALC, doc.text)
+    fresh.parse()
+    assert doc.source_text() == doc.text
+    assert enumerate_trees(doc.body) == enumerate_trees(fresh.body)
+
+
+@given(session=edit_session())
+@settings(max_examples=60, deadline=None)
+def test_incremental_equals_batch_ambiguous(session):
+    base, edits = session
+    doc = _apply_random_session(AMBIG, "iglr", False, base, edits)
+    if doc is None:
+        return
+    fresh = Document(AMBIG, doc.text)
+    fresh.parse()
+    assert sorted(enumerate_trees(doc.body)) == sorted(
+        enumerate_trees(fresh.body)
+    )
+    assert len(choice_points(doc.tree)) == len(choice_points(fresh.tree))
+
+
+@given(session=edit_session())
+@settings(max_examples=60, deadline=None)
+def test_balanced_sequences_preserve_semantics(session):
+    base, edits = session
+    balanced = _apply_random_session(CALC, "iglr", True, base, edits)
+    if balanced is None:
+        return
+    plain = Document(CALC, balanced.text)
+    plain.parse()
+    assert balanced.source_text() == balanced.text
+    assert unparse(balanced.tree) == unparse(plain.tree)
+    # Statement-level structure agrees (representation-independent).
+    def stmts(doc):
+        return [
+            tuple(t.token.text for t in n.iter_terminals())
+            for n in doc.body.walk()
+            if not n.is_terminal
+            and not n.is_symbol_node
+            and n.symbol == "stmt"
+        ]
+
+    assert sorted(stmts(balanced)) == sorted(stmts(plain))
+
+
+@given(session=edit_session())
+@settings(max_examples=40, deadline=None)
+def test_recovery_always_converges(session):
+    """With recovery on, parse() must always succeed and leave a
+    consistent document, whatever the edits were."""
+    base, edits = session
+    doc = Document(CALC, base)
+    doc.parse()
+    for offset, removed, inserted in edits:
+        offset = min(offset, len(doc.text))
+        removed = min(removed, len(doc.text) - offset)
+        doc.edit(offset, removed, inserted)
+        doc.parse()  # must not raise
+        assert doc.source_text() == doc.text

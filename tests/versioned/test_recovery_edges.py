@@ -1,0 +1,98 @@
+"""Edge cases for history-based error recovery (paper 4.3)."""
+
+import pytest
+
+from repro import Document, Language
+from repro.parser import ParseError
+
+LANG = Language.from_dsl(
+    """
+%token NUM /[0-9]+/
+%token ID /[a-z]+/
+program : stmt* ;
+stmt : ID '=' NUM ';' ;
+"""
+)
+
+
+def doc_with(text="a = 1; b = 2;"):
+    doc = Document(LANG, text)
+    doc.parse()
+    return doc
+
+
+class TestRecoveryOrdering:
+    def test_most_recent_edit_reverted_first(self):
+        doc = doc_with()
+        doc.edit(4, 1, "7")  # good: a = 7
+        doc.edit(7, 0, "(((")  # bad
+        report = doc.parse()
+        assert len(report.reverted_edits) == 1
+        assert report.reverted_edits[0].inserted_text == "((("
+        assert doc.source_text() == "a = 7; b = 2;"
+
+    def test_multiple_bad_edits_all_reverted(self):
+        doc = doc_with()
+        doc.edit(0, 0, "(")
+        doc.edit(len(doc.text), 0, ")")
+        report = doc.parse()
+        assert len(report.reverted_edits) == 2
+        assert doc.source_text() == "a = 1; b = 2;"
+
+    def test_bad_then_good_reverts_both(self):
+        # History-based recovery unwinds from the most recent edit; a
+        # good edit stacked on a bad one is sacrificed too (the paper's
+        # strategy is non-correcting, not minimal).
+        doc = doc_with()
+        doc.edit(0, 0, "(")  # bad
+        doc.edit(doc.text.index("2"), 1, "9")  # good
+        report = doc.parse()
+        assert len(report.reverted_edits) == 2
+        assert doc.source_text() == "a = 1; b = 2;"
+
+    def test_interleaved_sessions_converge(self):
+        doc = doc_with()
+        for _ in range(3):
+            doc.edit(0, 0, "#")  # never lexable into the grammar
+            doc.parse()
+            assert doc.source_text() == "a = 1; b = 2;"
+
+    def test_overlapping_edits_revert_cleanly(self):
+        doc = doc_with()
+        doc.edit(0, 3, "q")  # "q= 1; ..." -- bad (missing space ok, q=1 fine?)
+        doc.edit(0, 1, "((")  # definitely bad
+        doc.parse()
+        assert doc.source_text() == doc.text
+
+    def test_recovery_after_successful_incremental_parse(self):
+        doc = doc_with()
+        doc.edit(4, 1, "5")
+        doc.parse()
+        doc.edit(0, 0, ";;;")
+        report = doc.parse()
+        assert report.reverted_edits
+        assert doc.source_text() == "a = 5; b = 2;"
+
+
+class TestRecoveryLimits:
+    def test_first_parse_failure_has_no_history(self):
+        doc = Document(LANG, "((()))")
+        with pytest.raises(ParseError):
+            doc.parse()
+
+    def test_version_unchanged_when_everything_reverted(self):
+        doc = doc_with()
+        v = doc.version
+        doc.edit(0, 0, "(")
+        doc.parse()
+        assert doc.version == v + 1  # reverted-but-reparsed commits
+
+    def test_edit_log_cleared_after_recovery(self):
+        doc = doc_with()
+        doc.edit(0, 0, "(")
+        doc.parse()
+        # New edits after recovery behave normally.
+        doc.edit(4, 1, "8")
+        report = doc.parse()
+        assert report.fully_incorporated
+        assert doc.source_text() == "a = 8; b = 2;"
