@@ -1,0 +1,19 @@
+# Convenience targets; all testing goes through pytest.
+#
+#   make test    - tier-1 correctness suite
+#   make smoke   - robustness smoke: fuzz + fault-injection suites with
+#                  post-commit DAG invariant validation enabled
+#   make bench   - reproduction benchmarks (writes benchmarks/results/)
+
+PY = PYTHONPATH=src python
+
+.PHONY: test smoke bench
+
+test:
+	$(PY) -m pytest -q
+
+smoke:
+	REPRO_VALIDATE=1 $(PY) -m pytest -q -m "fuzz or faults"
+
+bench:
+	$(PY) -m pytest -q benchmarks

@@ -37,10 +37,17 @@ def table1_documents():
     from repro.langs.generators import TABLE1_SUITE, generate_suite_program
     from repro.langs.minic import minic_language
 
+    from repro.dag.validate import check_document, validation_enabled
+
     lang = minic_language()
     docs = {}
     for spec in TABLE1_SUITE:
         doc = Document(lang, generate_suite_program(spec, seed=42))
         doc.parse()
+        if validation_enabled():
+            # Opt-in structural audit (REPRO_VALIDATE=1): benchmark
+            # inputs must satisfy every DAG invariant before they are
+            # measured.
+            check_document(doc)
         docs[spec.name] = (spec, doc)
     return docs

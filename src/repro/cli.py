@@ -8,6 +8,9 @@ Commands:
 * ``edit LANG.g FILE EDITS...`` — parse, apply edits incrementally,
   reparse after each, print per-edit work (an editor session in a can);
   each edit is ``OFFSET:LENGTH:TEXT`` (TEXT may be empty for deletion).
+* ``validate LANG.g FILE [EDITS...]`` — parse (with error recovery),
+  apply any edits, then check every DAG and document invariant; exits
+  non-zero and prints the violations if the structure is corrupt.
 
 ``LANG.g`` is a grammar-DSL description (see `repro.grammar.dsl`).
 """
@@ -18,6 +21,7 @@ import argparse
 import sys
 
 from .dag.traversal import dump_tree
+from .dag.validate import validate_document
 from .language import Language
 from .tables.diagnostics import conflict_report, table_summary
 from .versioned.document import Document
@@ -105,6 +109,34 @@ def cmd_edit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    language = _load_language(args.grammar, args.method)
+    document = Document(
+        language,
+        _read(args.file),
+        balanced_sequences=args.balanced,
+    )
+    report = document.parse()
+    for spec in args.edits:
+        offset, length, text = _parse_edit(spec)
+        document.edit(offset, length, text)
+        report = document.parse()
+    problems = validate_document(document)
+    if problems:
+        print(f"INVALID: {len(problems)} invariant violation(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    status = []
+    if report.error_regions:
+        status.append(f"{report.error_regions} error region(s) isolated")
+    if report.reverted_edits:
+        status.append(f"{len(report.reverted_edits)} edit(s) reverted")
+    detail = f" ({', '.join(status)})" if status else ""
+    print(f"ok: version {document.version}, all invariants hold{detail}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -146,6 +178,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_edit.add_argument("--max-depth", type=int, default=None)
     p_edit.add_argument("--balanced", action="store_true")
     p_edit.set_defaults(func=cmd_edit)
+
+    p_validate = sub.add_parser(
+        "validate", help="parse, edit, and check DAG invariants"
+    )
+    p_validate.add_argument("grammar")
+    p_validate.add_argument("file")
+    p_validate.add_argument(
+        "edits", nargs="*", metavar="OFFSET:LENGTH:TEXT"
+    )
+    p_validate.add_argument("--balanced", action="store_true")
+    p_validate.set_defaults(func=cmd_validate)
 
     return parser
 

@@ -1,4 +1,4 @@
-"""The abstract parse DAG: nodes, traversal, and space metrics."""
+"""The abstract parse DAG: nodes, traversal, validation, and space metrics."""
 
 from .metrics import (
     SpaceReport,
@@ -7,7 +7,9 @@ from .metrics import (
     measure_space,
 )
 from .nodes import (
+    ERROR_SYMBOL,
     NO_STATE,
+    ErrorNode,
     Node,
     ProductionNode,
     SymbolNode,
@@ -24,6 +26,7 @@ from .traversal import (
     ancestors_ending_at,
     choice_points,
     dump_tree,
+    error_regions,
     first_terminal,
     last_terminal,
     next_terminal,
@@ -31,9 +34,19 @@ from .traversal import (
     unparse,
     yield_tokens,
 )
+from .validate import (
+    InvariantError,
+    check_document,
+    validate_document,
+    validate_tree,
+    validation_enabled,
+)
 
 __all__ = [
+    "ERROR_SYMBOL",
     "NO_STATE",
+    "ErrorNode",
+    "InvariantError",
     "Node",
     "ProductionNode",
     "SequenceNode",
@@ -45,9 +58,11 @@ __all__ = [
     "split_for_breakdown",
     "ambiguity_overhead_percent",
     "ancestors_ending_at",
+    "check_document",
     "choice_points",
     "count_nodes",
     "dump_tree",
+    "error_regions",
     "first_terminal",
     "last_terminal",
     "measure_disambiguated",
@@ -55,5 +70,8 @@ __all__ = [
     "next_terminal",
     "previous_terminal",
     "unparse",
+    "validate_document",
+    "validate_tree",
+    "validation_enabled",
     "yield_tokens",
 ]

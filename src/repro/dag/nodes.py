@@ -35,6 +35,12 @@ from ..lexing.tokens import Token
 # carrying it fails the state-matching test unconditionally.
 NO_STATE = -1
 
+# The pseudo-symbol carried by error nodes.  It is never a grammar
+# symbol, so every table lookup (goto, nonterminal actions) misses and
+# the parsers are forced to decompose an error region instead of
+# shifting it whole -- the same non-reuse discipline as multistate nodes.
+ERROR_SYMBOL = "<error>"
+
 
 class Node:
     """Base class for parse-DAG nodes."""
@@ -86,6 +92,10 @@ class Node:
 
     @property
     def is_sequence_part(self) -> bool:
+        return False
+
+    @property
+    def is_error_node(self) -> bool:
         return False
 
     @property
@@ -297,6 +307,54 @@ class SymbolNode(Node):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SymbolNode({self._symbol!r}, {len(self._alternatives)} alts)"
+
+
+class ErrorNode(Node):
+    """An isolated error region (history-sensitive recovery, paper 4.3).
+
+    Panic-mode isolation wraps the input stretch the parser could not
+    incorporate -- raw skipped terminals plus any well-formed subtrees
+    salvaged around it -- so a malformed program still commits a tree
+    covering every token: "program errors leave ambiguities in place
+    indefinitely"; here they leave *error regions* in place until an
+    edit resolves them.
+
+    Error nodes always carry :data:`NO_STATE` and a non-grammar symbol,
+    so state matching, sentential-form goto tests, and the nonterminal
+    reduction fast path all fail on them: an error region can never be
+    reused whole.  Its *kids* decompose normally, so salvaged structure
+    inside the region is still reusable once the text is repaired.
+    """
+
+    __slots__ = ("_kids",)
+
+    def __init__(self, kids: tuple[Node, ...]) -> None:
+        super().__init__(NO_STATE)
+        self._kids = tuple(kids)
+        self.n_terms = sum(kid.n_terms for kid in self._kids)
+
+    @property
+    def kids(self) -> tuple[Node, ...]:
+        return self._kids
+
+    @property
+    def symbol(self) -> str:
+        return ERROR_SYMBOL
+
+    @property
+    def is_error_node(self) -> bool:
+        return True
+
+    def replace_kids(self, kids: tuple[Node, ...]) -> None:
+        self._kids = tuple(kids)
+        self.n_terms = sum(kid.n_terms for kid in self._kids)
+
+    def adopt_kids(self) -> None:
+        for kid in self._kids:
+            kid.parent = self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ErrorNode({len(self._kids)} kids, {self.n_terms} terms)"
 
 
 def count_nodes(root: Node, into_alternatives: bool = True) -> int:

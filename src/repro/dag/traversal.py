@@ -171,6 +171,30 @@ def choice_points(root: Node) -> list[SymbolNode]:
     return found
 
 
+def error_regions(root: Node) -> list[Node]:
+    """All *innermost* error nodes reachable from ``root``.
+
+    Isolation may nest: a container error node can hold several isolated
+    runs alongside salvaged subtrees.  The innermost nodes are the actual
+    regions of unincorporated input, which is what reports count.
+    """
+    found: list[Node] = []
+    seen: set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if node.is_error_node:
+            inner_errors = [k for k in node.kids if k.is_error_node]
+            if not inner_errors:
+                found.append(node)
+                continue
+        stack.extend(node.kids)
+    return found
+
+
 def dump_tree(root: Node, max_depth: int | None = None) -> str:
     """Indented listing of a subtree (debugging and examples)."""
     lines: list[str] = []

@@ -111,6 +111,19 @@ class IGLRParser:
         run = _ParseRun(self, stream)
         return run.execute()
 
+    def parse_tolerant(self, terminals: list[TerminalNode]) -> ParseResult:
+        """Batch parse with panic-mode error isolation (section 4.3).
+
+        Instead of raising on a syntax error, unincorporable input
+        stretches are wrapped in :class:`~repro.dag.nodes.ErrorNode`
+        regions and well-formed structure around them is salvaged.
+        """
+        from .recovery import parse_tolerant
+
+        return parse_tolerant(
+            lambda nodes: self.parse(InputStream(list(nodes))), terminals
+        )
+
 
 class _ParseRun:
     """State for a single parse invocation."""
@@ -210,6 +223,7 @@ class _ParseRun:
             la is None
             or la.is_terminal
             or la.is_symbol_node
+            or la.is_error_node
             or la.state == NO_STATE
             or la.n_terms == 0
             or self.stream.has_changes(la)
@@ -246,6 +260,7 @@ class _ParseRun:
             la is not None
             and not la.is_terminal
             and not la.is_symbol_node
+            and not la.is_error_node
             and la.state != NO_STATE
             and la.n_terms > 0
             and not self.stream.has_changes(la)
@@ -475,6 +490,7 @@ class _ParseRun:
             if (
                 not self.multiple_states
                 and not la.is_symbol_node
+                and not la.is_error_node
                 and la.state != NO_STATE
                 and la.n_terms > 0
                 and not self.stream.has_changes(la)

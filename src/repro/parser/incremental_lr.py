@@ -45,9 +45,13 @@ class IncrementalLRParser:
     # -- reuse test ------------------------------------------------------------
 
     def _reusable(self, node: Node, state: int) -> bool:
+        # Error regions are never reused whole (they carry NO_STATE and a
+        # non-grammar symbol, but the sentential-form discipline must not
+        # even consult the goto table for them).
         if (
             node.is_terminal
             or node.is_symbol_node
+            or node.is_error_node
             or node.n_terms == 0
         ):
             return False
@@ -56,6 +60,14 @@ class IncrementalLRParser:
         return self.table.goto(state, node.symbol) is not None
 
     # -- main loop ----------------------------------------------------------------
+
+    def parse_tolerant(self, terminals: list[Node]) -> ParseResult:
+        """Batch parse with panic-mode error isolation (section 4.3)."""
+        from .recovery import parse_tolerant
+
+        return parse_tolerant(
+            lambda nodes: self.parse(InputStream(list(nodes))), terminals
+        )
 
     def parse(self, stream: InputStream) -> ParseResult:
         stats = ParseStats()
@@ -84,7 +96,11 @@ class IncrementalLRParser:
                 # Try the nonterminal-lookahead reduction fast path before
                 # decomposing (precomputed nonterminal reductions, 3.2).
                 actions = None
-                if not stream.has_changes(la) and not la.is_symbol_node:
+                if (
+                    not stream.has_changes(la)
+                    and not la.is_symbol_node
+                    and not la.is_error_node
+                ):
                     actions = self.table.nt_action(state, la.symbol)
                 if actions is None:
                     terminal = stream.reduction_terminal()

@@ -26,11 +26,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..dag.nodes import Node, ProductionNode, TerminalNode
+from ..dag.nodes import ErrorNode, Node, ProductionNode, TerminalNode
 from ..dag.sequences import SequenceNode, SequencePart, parts_created
 from ..dag.traversal import first_terminal, last_terminal, previous_terminal
 from ..grammar.cfg import Grammar
 from ..lexing.tokens import BOS, EOS, Token
+from ..testing.faults import crash_point
 from .iglr import IGLRParser, ParseError, ParseStats
 from .input_stream import InputStream
 
@@ -141,9 +142,12 @@ def collapse_sequences(
             )
         replacements[id(root)] = replacement
         sequence_nodes.append(replacement)
-    # Rewire new parents that reference a collapsed spine root.
+    # Rewire new parents that reference a collapsed spine root.  Error
+    # containers can hold salvaged spine fragments too.
     for node in new_nodes:
-        if not isinstance(node, ProductionNode) or id(node) in consumed:
+        if not isinstance(node, (ProductionNode, ErrorNode)):
+            continue
+        if id(node) in consumed:
             continue
         if any(id(kid) in replacements for kid in node.kids):
             node.replace_kids(
@@ -319,8 +323,10 @@ def attempt_sequence_repair(document) -> RepairOutcome | None:
     # Splice, keeping the original guard elements (preserves identity
     # and annotations of unchanged structure).
     replacement = new_items[keep_left:-1]
+    crash_point("repair:before-splice")
     seq.replace_items(lo + keep_left, hi, replacement)
     _refresh_ancestors(seq)
+    crash_point("repair:after-splice")
 
     # Registry: terminals inside the replaced range got fresh nodes.
     for item in replacement:

@@ -1,0 +1,26 @@
+"""Test support: deterministic fault injection and edit-script drivers.
+
+Nothing in this package imports the rest of ``repro`` -- the analysis
+layers import *it* (for :func:`~repro.testing.faults.crash_point`), so
+keeping it dependency-free avoids import cycles and keeps the
+production-path overhead of a disabled crash point to one attribute
+load.
+"""
+
+from .faults import (
+    FaultPlan,
+    InjectedFault,
+    crash_point,
+    inject,
+    observed_points,
+    random_edit,
+)
+
+__all__ = [
+    "FaultPlan",
+    "InjectedFault",
+    "crash_point",
+    "inject",
+    "observed_points",
+    "random_edit",
+]

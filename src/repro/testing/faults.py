@@ -1,0 +1,129 @@
+"""Deterministic fault injection and randomized edit scripts.
+
+The transactional-commit guarantee -- *no exception, anywhere in the
+parse/commit/repair pipeline, may leave a document observably corrupted*
+-- is only as good as its tests.  This module provides the two tools the
+crash-safety suites are built on:
+
+**Crash points.**  The commit and repair paths call
+:func:`crash_point` at every state transition where an interruption
+would expose partial state.  With no plan installed this is a single
+attribute load (production overhead ~nil).  Tests install a
+:class:`FaultPlan` via :func:`inject` to make the *n*-th arrival at a
+named point raise :class:`InjectedFault`, then assert that the document
+rolled back to the last good version:
+
+    with inject("commit:rooted"):
+        with pytest.raises(InjectedFault):
+            doc.parse()
+    # doc must now equal its pre-parse state.
+
+Points are discoverable: a :class:`FaultPlan` with ``crash_at=None``
+records every point it passes (see :func:`observed_points`), so the
+test suite enumerates injection points instead of hard-coding a list
+that silently goes stale.
+
+**Randomized edit scripts.**  :func:`random_edit` produces one
+(offset, remove, insert) triple from a seeded :class:`random.Random`,
+drawing inserts from a caller-provided snippet alphabet; fuzz suites
+compose it into differential sessions that deliberately pass through
+syntactically invalid states.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from random import Random
+from typing import Iterator, Sequence
+
+
+class InjectedFault(RuntimeError):
+    """Raised by an armed crash point."""
+
+
+@dataclass
+class FaultPlan:
+    """What to crash, and when.
+
+    Args:
+        crash_at: name of the crash point to arm, or None to only record.
+        after: number of arrivals at ``crash_at`` to let pass first
+            (0 = crash on the first arrival).
+    """
+
+    crash_at: str | None = None
+    after: int = 0
+    hits: dict[str, int] = field(default_factory=dict)
+
+    def visit(self, name: str) -> None:
+        count = self.hits.get(name, 0)
+        self.hits[name] = count + 1
+        if name == self.crash_at and count >= self.after:
+            raise InjectedFault(f"injected fault at {name!r} (hit {count + 1})")
+
+
+# The active plan.  Module-level so instrumented code pays one global
+# load when faults are off; tests install/remove plans via inject().
+_active: FaultPlan | None = None
+
+
+def crash_point(name: str) -> None:
+    """Declare an injectable crash site.  No-op unless a plan is armed."""
+    if _active is not None:
+        _active.visit(name)
+
+
+@contextmanager
+def inject(
+    crash_at: str | None = None, after: int = 0
+) -> Iterator[FaultPlan]:
+    """Arm a crash point for the duration of a with-block.
+
+    With ``crash_at=None`` nothing crashes; the yielded plan just
+    records every point it passes (discovery mode).
+    """
+    global _active
+    plan = FaultPlan(crash_at, after)
+    previous = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = previous
+
+
+def observed_points(run) -> list[str]:
+    """Every crash point a callable passes, in first-arrival order."""
+    with inject(None) as plan:
+        run()
+    return list(plan.hits)
+
+
+# -- randomized edit scripts ---------------------------------------------------
+
+
+def random_edit(
+    rng: Random,
+    text: str,
+    snippets: Sequence[str],
+    max_remove: int = 6,
+) -> tuple[int, int, str]:
+    """One randomized (offset, remove, insert) edit against ``text``.
+
+    Drawn operations are inserts, deletes, and replacements; inserts
+    come from ``snippets``, which callers load with both well-formed
+    fragments and garbage so scripts pass through invalid states.
+    Deterministic for a seeded ``rng``.
+    """
+    n = len(text)
+    offset = rng.randrange(n + 1)
+    op = rng.random()
+    if op < 0.45 or n == 0:  # insert
+        return offset, 0, rng.choice(snippets)
+    remove = min(n - offset, rng.randrange(1, max_remove + 1))
+    if offset + remove > n:
+        remove = n - offset
+    if op < 0.75:  # delete
+        return offset, remove, ""
+    return offset, remove, rng.choice(snippets)  # replace

@@ -7,11 +7,16 @@ abstract parse DAG, and keeps all three consistent across edits:
   affected region (paper's incremental lexer with lookahead tracking);
 * :meth:`parse` incrementally reparses, reusing unchanged subtrees from
   the previous version, and commits the new tree;
-* on a syntax error, history-sensitive non-correcting recovery (paper
-  section 4.3, simplified from reference [27]) reverts the most recent
-  offending modifications so that the document always converges to a
-  version with at least one valid parse; reverted edits are reported as
-  *unincorporated*.
+* on a syntax error, a recovery ladder (paper section 4.3) keeps the
+  document analyzable: history-sensitive non-correcting recovery reverts
+  the most recent offending modifications when a clean prior version
+  exists, and panic-mode error isolation confines the damage to
+  :class:`~repro.dag.nodes.ErrorNode` regions when it does not.
+
+Every parse is transactional by default: the complete analysis state is
+snapshotted before the attempt and restored if *anything* goes wrong, so
+no exception -- syntax error, invariant violation, injected fault -- can
+leave a document between versions.
 
 The previous tree is the paper's ``lastParsedVersion``; between parses,
 modifications accumulate in token-level bookkeeping and are turned into a
@@ -22,8 +27,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..dag.nodes import Node, ProductionNode, TerminalNode
-from ..dag.traversal import choice_points, unparse
+from ..dag.nodes import ErrorNode, Node, ProductionNode, TerminalNode
+from ..dag.traversal import choice_points, error_regions, unparse
+from ..dag.validate import check_document, validation_enabled
 from ..language import Language
 from ..lexing.incremental import relex
 from ..lexing.tokens import BOS, Token
@@ -31,6 +37,8 @@ from ..parser.iglr import IGLRParser, ParseError, ParseResult, ParseStats
 from ..parser.incremental_lr import IncrementalLRParser
 from ..parser.input_stream import InputStream
 from ..parser.plan import ParsePlan
+from ..testing.faults import crash_point
+from .transactions import DocumentSnapshot
 
 
 @dataclass(frozen=True)
@@ -47,11 +55,18 @@ class Edit:
 
 @dataclass
 class AnalysisReport:
-    """Outcome of :meth:`Document.parse`."""
+    """Outcome of :meth:`Document.parse`.
+
+    ``error_regions`` counts the isolated error regions in the committed
+    tree (zero for a clean parse); ``recovered`` is True when the tree
+    was produced by panic-mode isolation rather than a normal parse.
+    """
 
     stats: ParseStats
     ambiguous_regions: int
     reverted_edits: list[Edit] = field(default_factory=list)
+    error_regions: int = 0
+    recovered: bool = False
 
     @property
     def fully_incorporated(self) -> bool:
@@ -71,6 +86,7 @@ class Document:
         text: str = "",
         engine: str = "iglr",
         balanced_sequences: bool = False,
+        transactional: bool = True,
     ) -> None:
         self.language = language
         self.text = text
@@ -80,6 +96,10 @@ class Document:
         # sequence-local edits are repaired by fragment reparse + splice
         # without running the main parser.
         self.balanced_sequences = balanced_sequences
+        # Transactional parses snapshot the full analysis state up front
+        # and roll back on any failure.  Opting out trades that guarantee
+        # for skipping the O(tree) capture on the success path.
+        self.transactional = transactional
         if engine == "iglr":
             self._parser = IGLRParser(language.table)
         elif engine == "lr":
@@ -101,6 +121,8 @@ class Document:
         self._edit_log: list[Edit] = []
         self._fresh_nodes: dict[int, TerminalNode] = {}
         self._bos_node = TerminalNode(Token(BOS, ""))
+        # Error regions in the committed tree (0 = clean version).
+        self._error_count = 0
 
     # -- editing ------------------------------------------------------------
 
@@ -153,30 +175,60 @@ class Document:
     def parse(self, recover: bool = True) -> AnalysisReport:
         """(Re)parse the document, committing the new version.
 
-        With ``recover=True`` (default), a syntax error triggers
-        history-sensitive recovery: the most recent edits are reverted
-        one at a time until some prefix of the modification history
-        parses; the reverted edits are reported as unincorporated.  With
-        ``recover=False`` the :class:`~repro.parser.iglr.ParseError`
-        propagates and the document keeps its previous version.
+        With ``recover=True`` (default), a syntax error runs the recovery
+        ladder: history-sensitive reversion of the most recent edits when
+        a clean previous version exists, panic-mode error isolation
+        otherwise (fresh documents, or documents whose committed tree
+        already contains error regions), with isolation as the last
+        resort when reversion cannot converge.  Reverted edits are
+        reported as unincorporated; isolated errors are reported via
+        ``error_regions``/``recovered``.  With ``recover=False`` the
+        :class:`~repro.parser.iglr.ParseError` propagates and the
+        document keeps its previous version.
+
+        In transactional mode (the default) *any* exception escaping this
+        method -- including ``recover=False`` syntax errors and faults
+        injected into the commit pipeline -- leaves the document exactly
+        as it was on entry.
         """
+        snapshot = DocumentSnapshot(self) if self.transactional else None
+        try:
+            report = self._parse_attempt()
+        except ParseError:
+            if snapshot is not None:
+                snapshot.restore(self)
+            if not recover:
+                raise
+            try:
+                report = self._recover_ladder(snapshot)
+            except BaseException:
+                if snapshot is not None:
+                    snapshot.restore(self)
+                raise
+            if report is None:
+                if snapshot is not None:
+                    snapshot.restore(self)
+                raise
+        except BaseException:
+            if snapshot is not None:
+                snapshot.restore(self)
+            raise
+        if validation_enabled():
+            check_document(self)
+        return report
+
+    def _parse_attempt(self) -> AnalysisReport:
+        """One straight-line parse + commit, no recovery."""
         if self.balanced_sequences and self.tree is not None:
             repaired = self._attempt_sequence_repair()
             if repaired is not None:
                 return repaired
-        try:
-            result = self._attempt_parse()
-        except ParseError as error:
-            if not recover or self.tree is None or not self._edit_log:
-                raise
-            reverted = self._recover()
-            report = self.parse(recover=False)
-            report.reverted_edits.extend(reverted)
-            return report
+        result = self._attempt_parse()
         self._commit(result)
         return AnalysisReport(
             stats=result.stats,
             ambiguous_regions=len(choice_points(self.tree)),
+            error_regions=self._error_count,
         )
 
     def _attempt_parse(self) -> ParseResult:
@@ -230,12 +282,15 @@ class Document:
         return AnalysisReport(
             stats=outcome.stats,
             ambiguous_regions=len(choice_points(self.tree)),
+            error_regions=self._error_count,
         )
 
     def _commit(self, result: ParseResult) -> None:
+        crash_point("commit:start")
         for node in result.new_nodes:
-            if isinstance(node, ProductionNode):
+            if isinstance(node, (ProductionNode, ErrorNode)):
                 node.adopt_kids()
+        crash_point("commit:adopted")
         if self.balanced_sequences:
             from ..dag.sequences import SequenceNode
             from ..parser.sequences import collapse_sequences
@@ -252,12 +307,13 @@ class Document:
             # committed tree; fix the spines of any sequence reachable
             # as a child of new structure.
             for node in result.new_nodes:
-                if isinstance(node, ProductionNode):
+                if isinstance(node, (ProductionNode, ErrorNode)):
                     for kid in node.kids:
                         if isinstance(kid, SequenceNode):
                             kid._adopt_spine()
             if isinstance(result.root, SequenceNode):
                 result.root._adopt_spine()
+        crash_point("commit:collapsed")
         eos_entry = self._token_nodes.get(id(self.tokens[-1]))
         if eos_entry is not None:
             eos_node = eos_entry[1]
@@ -269,6 +325,23 @@ class Document:
         )
         root.adopt_kids()
         self.tree = root
+        # Re-adopt along the committed structure: dead GSS branches and
+        # discarded alternatives also ran adopt_kids above, and whichever
+        # adopter came last owns a shared kid's parent pointer.  Upward
+        # navigation (change propagation, sequence repair) needs parents
+        # that are *in* the tree, so give in-tree parents the last word.
+        # O(new nodes): old subtrees are internally consistent already.
+        new_ids = {id(n) for n in result.new_nodes}
+        seen: set[int] = set()
+        stack: list[Node] = [root]
+        while stack:
+            node = stack.pop()
+            for kid in node.kids:
+                kid.parent = node
+                if id(kid) in new_ids and id(kid) not in seen:
+                    seen.add(id(kid))
+                    stack.append(kid)
+        crash_point("commit:rooted")
         # Registry maintenance: drop stale entries, add fresh terminals.
         registry: dict[int, tuple[Token, TerminalNode]] = {}
         for token in self.tokens:
@@ -276,22 +349,49 @@ class Document:
             node = entry[1] if entry else self._fresh_nodes[id(token)]
             registry[id(token)] = (token, node)
         self._token_nodes = registry
+        crash_point("commit:registry")
         self._removed_nodes = []
         self._edit_log = []
         self._fresh_nodes = {}
+        if self._error_count or any(n.is_error_node for n in result.new_nodes):
+            self._error_count = len(error_regions(self.tree))
+        else:
+            self._error_count = 0
         self.version += 1
         self.last_result = result
 
     # -- error recovery -----------------------------------------------------------
 
-    def _recover(self) -> list[Edit]:
-        """Revert recent edits until the document parses (paper 4.3).
+    def _recover_ladder(self, snapshot: DocumentSnapshot | None):
+        """Run the recovery ladder after a failed parse attempt.
 
-        Works backwards through the modification history; each reverted
-        edit is undone textually (which re-runs the incremental lexer) so
-        the remaining prefix of the history is analyzed on the next
-        attempt.  Returns the reverted edits, most recent first.
+        The document has already been rolled back to its pre-parse state
+        (transactional mode) when this runs.  Returns the report of the
+        step that succeeded, or None when no step applies -- the caller
+        then re-raises the original :class:`ParseError`.
+
+        Ladder, in order (paper 4.3 plus isolation):
+
+        1. *Isolation first* when there is no clean committed version to
+           fall back on: fresh documents, and documents whose tree
+           already contains error regions (reverting edits cannot reach
+           a parseable text).
+        2. *History-sensitive reversion*: undo the most recent edits one
+           at a time until some prefix of the modification history
+           parses; reverted edits are reported as unincorporated.
+        3. *Isolation as last resort* when reversion exhausts the edit
+           log without converging: re-apply the full edit history
+           (transactional mode) and commit an error-isolated tree
+           instead of losing the user's modifications.
         """
+        if self.tree is None or self._error_count:
+            report = self._parse_isolated()
+            if report is not None:
+                return report
+            if self.tree is None:
+                return None  # fresh document, nothing else to try
+        if not self._edit_log:
+            return None
         reverted: list[Edit] = []
         while self._edit_log:
             edit = self._edit_log.pop()
@@ -300,12 +400,76 @@ class Document:
                 inverse.offset, len(inverse.removed_text), inverse.inserted_text
             )
             reverted.append(edit)
+            crash_point("recover:after-revert")
+            attempt = DocumentSnapshot(self) if self.transactional else None
             try:
                 self._attempt_parse()
             except ParseError:
+                # A failed trial must not leak scratch state (fresh
+                # terminal nodes, clobbered parse states) into the next
+                # one: roll back to the post-revert snapshot, or at
+                # minimum drop the scratch nodes when non-transactional.
+                if attempt is not None:
+                    attempt.restore(self)
+                else:
+                    self._fresh_nodes = {}
                 continue
-            break
-        return reverted
+            # The reverted prefix parses.  Discard the trial's scratch
+            # and in-place mutations, then incorporate it through the
+            # full pipeline -- which gets another shot at the
+            # sequence-repair fast path for the surviving edits.
+            if attempt is not None:
+                attempt.restore(self)
+            else:
+                self._fresh_nodes = {}
+            crash_point("recover:before-commit")
+            report = self._parse_attempt()
+            report.reverted_edits = reverted
+            return report
+        # Reversion exhausted the history without converging.  Re-apply
+        # the edits (by rolling back to the pre-parse state) and isolate
+        # the errors instead.
+        if snapshot is not None:
+            snapshot.restore(self)
+            reverted = []
+        report = self._parse_isolated()
+        if report is not None:
+            report.reverted_edits = reverted
+            return report
+        return None
+
+    def _parse_isolated(self) -> AnalysisReport | None:
+        """Batch reparse with panic-mode error isolation (paper 4.3).
+
+        Commits a tree in which unparseable regions are confined to
+        :class:`~repro.dag.nodes.ErrorNode` subtrees.  Returns None (with
+        the document restored) if even the tolerant parse fails.
+        """
+        snapshot = DocumentSnapshot(self) if self.transactional else None
+        try:
+            if self.tree is None:
+                self.tokens = self.language.lexer.lex(self.text)
+            terminals = [TerminalNode(tok) for tok in self.tokens]
+            self._fresh_nodes = {
+                id(tok): node for tok, node in zip(self.tokens, terminals)
+            }
+            # Batch re-derivation: the previous tree (if any) is
+            # abandoned wholesale, so the registry starts empty.
+            self._token_nodes = {}
+            self._removed_nodes = []
+            crash_point("isolate:reparse")
+            result = self._parser.parse_tolerant(terminals)
+        except ParseError:
+            if snapshot is not None:
+                snapshot.restore(self)
+            return None
+        self._commit(result)
+        return AnalysisReport(
+            stats=result.stats,
+            ambiguous_regions=len(choice_points(self.tree)),
+            error_regions=self._error_count,
+            recovered=True,
+        )
 
     # -- queries --------------------------------------------------------------------
 
@@ -317,6 +481,11 @@ class Document:
     @property
     def is_ambiguous(self) -> bool:
         return self.tree is not None and bool(choice_points(self.tree))
+
+    @property
+    def has_errors(self) -> bool:
+        """True when the committed tree contains isolated error regions."""
+        return self._error_count > 0
 
     def source_text(self) -> str:
         """Reconstruct text from the tree (must equal ``self.text``)."""

@@ -1,0 +1,119 @@
+"""Transactional snapshots: rollback to the last good document version.
+
+Incremental reparsing mutates the previous version's tree *in place*:
+subtree shifts overwrite recorded parse states, the node-retention pool
+hands old production nodes to new reductions, local ambiguity packing
+appends alternatives to existing choice nodes, commit re-adopts parent
+pointers along fresh structure, and balanced-sequence repair splices
+directly into the committed spine.  An exception anywhere in that
+pipeline would otherwise leave the document half-mutated -- parsed-tree
+bookkeeping out of sync with the text, parent chains pointing into
+discarded structure.
+
+:class:`DocumentSnapshot` makes the whole pipeline transactional the
+simple, airtight way: capture every mutable field of every reachable
+node (plus the document's scalar state) before the attempt, write it all
+back on failure.  The capture is O(tree); the restore runs only on the
+failure path.  A mutation journal recording first-touch old values would
+cut the capture to O(touched region) -- the right next step for the
+production-scale goal -- but a value snapshot is trivially correct,
+which is what a rollback primitive must be first.
+
+Snapshots are value-faithful: node *identities* survive rollback, so
+annotations, the token registry, and any outstanding edit log keep
+working after a restore exactly as before the failed attempt.
+"""
+
+from __future__ import annotations
+
+from ..dag.nodes import ErrorNode, Node, ProductionNode, SymbolNode
+from ..dag.sequences import SequenceNode
+
+# Record layout: (node, state, parent, n_terms, structure) where
+# ``structure`` is the node-kind-specific mutable link bundle.
+_Record = tuple
+
+
+class DocumentSnapshot:
+    """A restorable snapshot of a Document's complete analysis state."""
+
+    __slots__ = (
+        "text",
+        "version",
+        "tokens",
+        "token_nodes",
+        "removed_nodes",
+        "edit_log",
+        "fresh_nodes",
+        "last_result",
+        "tree",
+        "records",
+    )
+
+    def __init__(self, document) -> None:
+        doc = document
+        self.text: str = doc.text
+        self.version: int = doc.version
+        self.tokens = list(doc.tokens)
+        self.token_nodes = dict(doc._token_nodes)
+        self.removed_nodes = list(doc._removed_nodes)
+        self.edit_log = list(doc._edit_log)
+        self.fresh_nodes = dict(doc._fresh_nodes)
+        self.last_result = doc.last_result
+        self.tree = doc.tree
+        self.records: list[_Record] = (
+            _capture(doc.tree) if doc.tree is not None else []
+        )
+
+    def restore(self, document) -> None:
+        """Write the snapshot back; the document forgets the failed attempt."""
+        doc = document
+        doc.text = self.text
+        doc.version = self.version
+        doc.tokens = list(self.tokens)
+        doc._token_nodes = dict(self.token_nodes)
+        doc._removed_nodes = list(self.removed_nodes)
+        doc._edit_log = list(self.edit_log)
+        doc._fresh_nodes = dict(self.fresh_nodes)
+        doc.last_result = self.last_result
+        doc.tree = self.tree
+        for node, state, parent, n_terms, structure in self.records:
+            node.state = state
+            node.parent = parent
+            node.n_terms = n_terms
+            if structure is None:
+                continue
+            if isinstance(node, (ProductionNode, ErrorNode)):
+                node._kids = structure
+            elif isinstance(node, SymbolNode):
+                node._alternatives = list(structure)
+            elif isinstance(node, SequenceNode):
+                node._root = structure
+
+
+def _capture(root: Node) -> list[_Record]:
+    """Mutable state of every node reachable from ``root``, once each.
+
+    Sequence parts are persistent (their kid tuples, item counts, and
+    depths are fixed at construction), so for them -- as for terminals --
+    only the shared (state, parent, n_terms) triple needs recording.
+    """
+    records: list[_Record] = []
+    seen: set[int] = set()
+    stack: list[Node] = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, (ProductionNode, ErrorNode)):
+            structure = node._kids
+        elif isinstance(node, SymbolNode):
+            structure = tuple(node._alternatives)
+        elif isinstance(node, SequenceNode):
+            structure = node._root
+        else:
+            structure = None
+        records.append((node, node.state, node.parent, node.n_terms, structure))
+        stack.extend(node.kids)
+    return records

@@ -1,0 +1,128 @@
+"""The invariant validator must catch seeded corruption."""
+
+import pytest
+
+from repro import Document, Language
+from repro.dag.nodes import ProductionNode, TerminalNode
+from repro.dag.validate import (
+    InvariantError,
+    check_document,
+    validate_document,
+    validate_tree,
+    validation_enabled,
+)
+from repro.lexing.tokens import Token
+
+LANG = Language.from_dsl(
+    """
+%token NUM /[0-9]+/
+%token ID /[a-z]+/
+program : stmt* ;
+stmt : ID '=' NUM ';' ;
+"""
+)
+
+
+def parsed_doc(text="a = 1; b = 2;"):
+    doc = Document(LANG, text)
+    doc.parse()
+    return doc
+
+
+def some_stmt(doc):
+    stack = [doc.tree]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ProductionNode) and node.production.lhs == "stmt":
+            return node
+        stack.extend(node.kids)
+    raise AssertionError("no stmt node found")
+
+
+class TestCleanDocuments:
+    def test_committed_document_validates(self):
+        assert validate_document(parsed_doc()) == []
+
+    def test_unparsed_document_validates_vacuously(self):
+        assert validate_document(Document(LANG, "((")) == []
+
+    def test_check_document_passes(self):
+        check_document(parsed_doc())  # no raise
+
+
+class TestSeededCorruption:
+    def test_broken_parent_link(self):
+        doc = parsed_doc()
+        stmt = some_stmt(doc)
+        stmt.kids[0].parent = None
+        problems = validate_tree(doc.tree)
+        assert any("no parent link" in p for p in problems)
+
+    def test_parent_outside_tree(self):
+        doc = parsed_doc()
+        stmt = some_stmt(doc)
+        orphan = ProductionNode(stmt.production, stmt.kids)
+        stmt.kids[0].parent = orphan
+        problems = validate_tree(doc.tree)
+        assert problems  # chain no longer reaches the root
+
+    def test_stale_yield_width(self):
+        doc = parsed_doc()
+        stmt = some_stmt(doc)
+        stmt.n_terms += 1
+        problems = validate_tree(doc.tree)
+        assert any("n_terms" in p for p in problems)
+
+    def test_registry_missing_token(self):
+        doc = parsed_doc()
+        doc._token_nodes.pop(id(doc.tokens[0]))
+        problems = validate_document(doc)
+        assert any("missing from registry" in p for p in problems)
+
+    def test_registry_node_outside_tree(self):
+        doc = parsed_doc()
+        token = doc.tokens[0]
+        doc._token_nodes[id(token)] = (token, TerminalNode(token))
+        problems = validate_document(doc)
+        assert any("outside the tree" in p for p in problems)
+
+    def test_dangling_registry_entry(self):
+        doc = parsed_doc()
+        ghost = Token("ID", "ghost")
+        doc._token_nodes[id(ghost)] = (ghost, TerminalNode(ghost))
+        problems = validate_document(doc)
+        assert any("dangling" in p for p in problems)
+
+    def test_text_mismatch(self):
+        doc = parsed_doc()
+        doc.text += " trailing"
+        problems = validate_document(doc)
+        assert any("reconstruct" in p for p in problems)
+
+    def test_leaked_scratch_state(self):
+        doc = parsed_doc()
+        doc._fresh_nodes = {1: TerminalNode(Token("ID", "leak"))}
+        problems = validate_document(doc)
+        assert any("scratch" in p for p in problems)
+
+    def test_check_document_raises(self):
+        doc = parsed_doc()
+        some_stmt(doc).n_terms += 1
+        with pytest.raises(InvariantError):
+            check_document(doc)
+
+
+class TestEnableSwitch:
+    def test_env_gate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VALIDATE", raising=False)
+        assert not validation_enabled()
+        monkeypatch.setenv("REPRO_VALIDATE", "0")
+        assert not validation_enabled()
+        monkeypatch.setenv("REPRO_VALIDATE", "1")
+        assert validation_enabled()
+
+    def test_parse_checks_when_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VALIDATE", "1")
+        doc = parsed_doc()  # parse under validation: must not raise
+        doc.edit(4, 1, "9")
+        doc.parse()

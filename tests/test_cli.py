@@ -96,6 +96,26 @@ class TestCli:
         assert main(["parse", grammar, "/nonexistent"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_validate_command(self, calc_files, capsys):
+        grammar, source = calc_files
+        assert main(["validate", grammar, source]) == 0
+        assert "all invariants hold" in capsys.readouterr().out
+
+    def test_validate_with_edits(self, calc_files, capsys):
+        grammar, source = calc_files
+        assert main(["validate", grammar, source, "4:1:42", "0:0:((("]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants hold" in out
+        assert "reverted" in out
+
+    def test_validate_malformed_source(self, calc_files, tmp_path, capsys):
+        grammar, _ = calc_files
+        bad = tmp_path / "bad.calc"
+        bad.write_text("a = ; ((( 1")
+        assert main(["validate", grammar, str(bad)]) == 0
+        out = capsys.readouterr().out
+        assert "error region(s) isolated" in out
+
 
 class TestDiagnostics:
     def test_summary_fields(self):

@@ -1,0 +1,118 @@
+"""Differential fuzzing: random edit scripts through invalid states.
+
+Fixed-seed randomized sessions drive documents through arbitrary edits
+-- including ones that break the syntax -- and after every parse check
+the two properties the system promises unconditionally:
+
+* the committed tree reconstructs the text and satisfies every DAG and
+  bookkeeping invariant (no edit sequence corrupts a document);
+* the incrementally maintained tree equals a from-scratch batch parse
+  of the same text (incremental == batch).
+"""
+
+from random import Random
+
+import pytest
+
+from repro import Document
+from repro.dag.validate import validate_document
+from repro.langs.calc import calc_language
+from repro.langs.minic import minic_language
+
+pytestmark = pytest.mark.fuzz
+
+CALC_SNIPPETS = [
+    "a = 1;",
+    "b = a + 2;",
+    "x",
+    "7",
+    " + 3",
+    "; ",
+    "(",
+    ")",
+    "= ",
+    "zz = (1 + 2) * 3;",
+    "?",
+    "#!",
+]
+
+MINIC_SNIPPETS = [
+    "int x;",
+    "x = 1;",
+    "if (x) { y = 2; }",
+    "{",
+    "}",
+    ";",
+    "int",
+    "f(",
+    "))",
+    "while",
+    "@",
+]
+
+
+def shape(node):
+    """Parse-structure signature independent of node identity and state."""
+    if node.is_terminal:
+        return node.token.text
+    return (node.symbol, tuple(shape(kid) for kid in node.kids))
+
+
+def run_session(lang, seed_text, snippets, steps, seed):
+    rng = Random(seed)
+    doc = Document(lang, seed_text)
+    doc.parse()
+    assert validate_document(doc) == []
+    for _ in range(steps):
+        from repro.testing import random_edit
+
+        offset, remove, insert = random_edit(rng, doc.text, snippets)
+        doc.edit(offset, remove, insert)
+        report = doc.parse()
+        # Unconditional: committed, consistent, reconstructible.
+        assert doc.source_text() == doc.text
+        assert validate_document(doc) == []
+        # Differential: a from-scratch parse of the same text agrees.
+        batch = Document(lang, doc.text)
+        batch_report = batch.parse()
+        assert batch.has_errors == doc.has_errors
+        if (
+            not doc.has_errors
+            and report.ambiguous_regions == 0
+            and batch_report.ambiguous_regions == 0
+        ):
+            assert shape(doc.body) == shape(batch.body)
+    return doc
+
+
+class TestCalcSessions:
+    def test_clean_seed(self):
+        run_session(
+            calc_language(), "a = 1; b = 2; c = a + b;",
+            CALC_SNIPPETS, steps=40, seed=90125,
+        )
+
+    def test_garbage_seed_converges_through_isolation(self):
+        doc = run_session(
+            calc_language(), ") a = ; 1 ((",
+            CALC_SNIPPETS, steps=30, seed=5150,
+        )
+        assert doc.version >= 1  # every step committed something
+
+    def test_empty_seed(self):
+        run_session(calc_language(), "", CALC_SNIPPETS, steps=25, seed=1984)
+
+
+class TestMinicSessions:
+    def test_clean_seed(self):
+        run_session(
+            minic_language(),
+            "int main() { int a; a = 1; return a; }",
+            MINIC_SNIPPETS, steps=30, seed=41,
+        )
+
+    def test_garbage_seed(self):
+        run_session(
+            minic_language(), "int main( { ) }",
+            MINIC_SNIPPETS, steps=20, seed=5740,
+        )

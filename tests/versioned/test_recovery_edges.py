@@ -75,10 +75,24 @@ class TestRecoveryOrdering:
 
 
 class TestRecoveryLimits:
-    def test_first_parse_failure_has_no_history(self):
+    def test_first_parse_failure_isolates_errors(self):
+        # A fresh document has no edit history to revert, so recovery
+        # falls to panic-mode isolation: the text is committed with the
+        # damage confined to error regions instead of raising.
+        doc = Document(LANG, "((()))")
+        report = doc.parse()
+        assert report.recovered
+        assert report.error_regions >= 1
+        assert doc.version == 1
+        assert doc.source_text() == "((()))"
+
+    def test_first_parse_failure_without_recovery_is_pristine(self):
         doc = Document(LANG, "((()))")
         with pytest.raises(ParseError):
-            doc.parse()
+            doc.parse(recover=False)
+        assert doc.tree is None
+        assert doc.version == 0
+        assert doc.text == "((()))"
 
     def test_version_unchanged_when_everything_reverted(self):
         doc = doc_with()
