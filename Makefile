@@ -1,13 +1,16 @@
 # Convenience targets; all testing goes through pytest.
 #
-#   make test    - tier-1 correctness suite
-#   make smoke   - robustness smoke: fuzz + fault-injection suites with
-#                  post-commit DAG invariant validation enabled
-#   make bench   - reproduction benchmarks (writes benchmarks/results/)
+#   make test        - tier-1 correctness suite
+#   make smoke       - robustness smoke: fuzz + fault-injection suites with
+#                      post-commit DAG invariant validation enabled
+#   make bench       - reproduction benchmarks (writes benchmarks/results/)
+#   make bench-smoke - quick perf-regression gate: writes
+#                      BENCH_incremental.json and fails if per-edit
+#                      incremental time exceeds batch reparse time
 
 PY = PYTHONPATH=src python
 
-.PHONY: test smoke bench
+.PHONY: test smoke bench bench-smoke
 
 test:
 	$(PY) -m pytest -q
@@ -17,3 +20,7 @@ smoke:
 
 bench:
 	$(PY) -m pytest -q benchmarks
+
+bench-smoke:
+	$(PY) -m repro.bench.incremental --smoke --check \
+		--out benchmarks/results/BENCH_incremental.json

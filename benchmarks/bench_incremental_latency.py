@@ -1,0 +1,82 @@
+"""Experiment S5c — per-edit cost is sublinear, batch cost is linear.
+
+The central asymptotic claim (paper sections 3.4, 5): with balanced
+sequences, incorporating one token modification costs O(lg N) parsing
+work in an N-token document, while batch reparsing is Theta(N).  We
+measure *work* (shifts + reductions + breakdowns), not wall-clock, so
+the assertion is deterministic and machine-independent, and fit a power
+law across a geometric size ladder: the batch exponent must be ~1, the
+per-edit exponent clearly sublinear.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro import Document
+from repro.bench import (
+    fit_powerlaw,
+    parse_work,
+    render_table,
+    self_cancelling_token_edits,
+)
+from repro.langs.calc import calc_language
+from repro.langs.generators import generate_calc_program
+
+SIZES = [128, 256, 512, 1024, 2048]
+N_EDITS = 10
+
+
+def _measure(n_statements: int) -> tuple[int, float, float]:
+    """(tokens, batch work, median per-edit work) at one size."""
+    lang = calc_language()
+    text = generate_calc_program(n_statements, seed=23)
+    doc = Document(lang, text, balanced_sequences=True)
+    batch = parse_work(doc.parse().stats)
+
+    per_edit: list[float] = []
+    for edit in self_cancelling_token_edits(doc, N_EDITS, seed=29):
+        original = doc.text[edit.offset : edit.offset + edit.length]
+        doc.edit(edit.offset, edit.length, edit.replacement)
+        work = parse_work(doc.parse().stats)
+        doc.edit(edit.offset, len(edit.replacement), original)
+        undo = parse_work(doc.parse().stats)
+        per_edit.extend((work, undo))
+    return len(doc.tokens), float(batch), statistics.median(per_edit)
+
+
+def test_per_edit_work_sublinear_batch_linear(report_sink):
+    rows = []
+    tokens: list[float] = []
+    batch_work: list[float] = []
+    edit_work: list[float] = []
+    for size in SIZES:
+        n_tokens, batch, edit = _measure(size)
+        tokens.append(float(n_tokens))
+        batch_work.append(batch)
+        edit_work.append(edit)
+        rows.append((n_tokens, f"{batch:.0f}", f"{edit:.1f}"))
+
+    batch_exp = fit_powerlaw(tokens, batch_work)
+    edit_exp = fit_powerlaw(tokens, edit_work)
+    rows.append(("exponent", f"{batch_exp:.3f}", f"{edit_exp:.3f}"))
+    report_sink(
+        "incremental_latency",
+        render_table(
+            "Per-edit parsing work vs document size (balanced sequences)",
+            ["tokens", "batch work", "median per-edit work"],
+            rows,
+        ),
+    )
+
+    # Batch reparse must grow linearly with document size...
+    assert batch_exp > 0.9, f"batch work exponent {batch_exp:.3f} not linear"
+    # ...while a single-token edit's work must be clearly sublinear
+    # (O(lg N) shows up as an exponent near 0 over this size range).
+    assert edit_exp < 0.6, (
+        f"per-edit work exponent {edit_exp:.3f} is not sublinear; "
+        "incremental cost is no longer incremental"
+    )
+    # And the gap must be material at the largest size, not just in the
+    # fitted slope.
+    assert edit_work[-1] * 5 < batch_work[-1]

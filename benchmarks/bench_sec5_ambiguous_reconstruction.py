@@ -40,7 +40,7 @@ def _edit_time(density: float) -> tuple[float, int]:
 
     # Best of three: wall-clock ratios flake under machine load (the
     # assertion compares two absolute timings).
-    best = min(time_fn(run).seconds for _ in range(3))
+    best = time_fn(run, repeat=3).seconds
     work = doc.last_result.stats.shifts + doc.last_result.stats.reductions
     return best / (2 * N_EDITS), work
 

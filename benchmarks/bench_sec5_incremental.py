@@ -40,7 +40,7 @@ def _edit_cycle_time(engine: str) -> float:
     # Best of three: minimizes scheduler/GC noise in the wall-clock
     # measurement (the shape assertion compares engines, so a single
     # noisy run would flake).
-    best = min(time_fn(run).seconds for _ in range(3))
+    best = time_fn(run, repeat=3).seconds
     return best / (2 * N_EDITS)  # two parses per cycle
 
 
@@ -56,7 +56,7 @@ def test_sec5_incremental_engines(benchmark, report_sink):
         doc = Document(lang, text)
         doc.parse()
 
-    batch_time = time_fn(batch, runs=2).per_run
+    batch_time = time_fn(batch, runs=2, repeat=1).per_run
 
     rows = [
         ("incremental LR", f"{lr_per_parse * 1e3:.2f}"),

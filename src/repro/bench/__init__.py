@@ -1,6 +1,14 @@
 """Benchmark harness: measurement, workloads, and report rendering."""
 
-from .measure import Timing, fit_loglinear, fit_powerlaw, parse_work, time_fn
+from .measure import (
+    MemoryUse,
+    Timing,
+    fit_loglinear,
+    fit_powerlaw,
+    measure_memory,
+    parse_work,
+    time_fn,
+)
 from .reporting import bucketize, render_histogram, render_table
 from .workloads import (
     TokenEdit,
@@ -10,12 +18,14 @@ from .workloads import (
 )
 
 __all__ = [
+    "MemoryUse",
     "Timing",
     "TokenEdit",
     "apply_and_cancel",
     "bucketize",
     "fit_loglinear",
     "fit_powerlaw",
+    "measure_memory",
     "numeric_token_sites",
     "parse_work",
     "render_histogram",

@@ -11,8 +11,16 @@ Commands:
 * ``validate LANG.g FILE [EDITS...]`` — parse (with error recovery),
   apply any edits, then check every DAG and document invariant; exits
   non-zero and prints the violations if the structure is corrupt.
+* ``tables``                    — parse-table cache statistics
+  (``--stats``, default) or ``--clear`` to empty the on-disk cache.
 
-``LANG.g`` is a grammar-DSL description (see `repro.grammar.dsl`).
+``LANG.g`` is a grammar-DSL description (see `repro.grammar.dsl`), or
+the name of a bundled language (``calc``, ``minic``, ``minifortran``,
+``lr2``) when no such file exists.
+
+The global ``--profile`` flag wraps any command in cProfile and prints
+the top 20 functions by cumulative time — the quickest way to see
+where a slow parse actually spends its cycles.
 """
 
 from __future__ import annotations
@@ -23,11 +31,17 @@ import sys
 from .dag.traversal import dump_tree
 from .dag.validate import validate_document
 from .language import Language
+from .langs import get_language, language_names
+from .tables.cache import cache_info, clear_cache
 from .tables.diagnostics import conflict_report, table_summary
 from .versioned.document import Document
 
 
 def _load_language(path: str, method: str) -> Language:
+    import os
+
+    if not os.path.exists(path) and path in language_names():
+        return get_language(path)
     with open(path, encoding="utf-8") as handle:
         return Language.from_dsl(handle.read(), method=method)
 
@@ -137,6 +151,32 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tables(args: argparse.Namespace) -> int:
+    if args.clear:
+        clear_cache(disk=True)
+        print("table cache cleared")
+        return 0
+    info = cache_info()
+    print(f"cache dir: {info['dir'] or '(disk cache disabled)'}")
+    print(f"format: v{info['format']}")
+    print(
+        "this process: "
+        f"{info['memory_hits']} memory hit(s), "
+        f"{info['disk_hits']} disk hit(s), "
+        f"{info['misses']} miss(es), "
+        f"{info['stores']} store(s), "
+        f"{info['disk_errors']} disk error(s)"
+    )
+    print(f"in-memory entries: {info['memory_entries']}")
+    entries = info["disk_entries"]
+    print(f"on-disk entries: {len(entries)}")
+    for entry in entries:
+        label = info["labels"].get(entry["key"], "")
+        tag = f"  [{label}]" if label else ""
+        print(f"  {entry['key'][:16]}...  {entry['bytes']:>8d} bytes{tag}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -148,6 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("lalr", "slr"),
         default="lalr",
         help="LR table construction method",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the command under cProfile and print the top 20 "
+        "functions by cumulative time",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -190,12 +236,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_validate.add_argument("--balanced", action="store_true")
     p_validate.set_defaults(func=cmd_validate)
 
+    p_tables = sub.add_parser(
+        "tables", help="parse-table cache statistics"
+    )
+    p_tables.add_argument(
+        "--stats", action="store_true", help="show cache statistics (default)"
+    )
+    p_tables.add_argument(
+        "--clear", action="store_true", help="empty the on-disk cache"
+    )
+    p_tables.set_defaults(func=cmd_tables)
+
     return parser
+
+
+def _run_profiled(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(args.func, args)
+    finally:
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        print("\n-- profile (top 20 by cumulative time) --", file=sys.stderr)
+        stats.print_stats(20)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.profile:
+            return _run_profiled(args)
         return args.func(args)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)

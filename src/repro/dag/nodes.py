@@ -30,6 +30,7 @@ from typing import Iterator
 
 from ..grammar.cfg import Production
 from ..lexing.tokens import Token
+from .journal import touch
 
 # Sentinel state: "built while multiple parsers were active".  Any node
 # carrying it fails the state-matching test unconditionally.
@@ -127,6 +128,21 @@ class Node:
         self.local_changes = False
         self.nested_changes = False
         self.right_invalid = False
+
+    # -- transactional capture ----------------------------------------------
+
+    def _capture_structure(self):
+        """The node-kind-specific mutable link bundle, or None.
+
+        Shared by snapshot capture and the first-touch mutation journal
+        so both rollback primitives restore byte-identical state.
+        Terminals and sequence parts have no mutable structure beyond
+        the (state, parent, n_terms) triple every node carries.
+        """
+        return None
+
+    def _restore_structure(self, structure) -> None:
+        """Write back what :meth:`_capture_structure` returned."""
 
     # -- annotations ------------------------------------------------------------
 
@@ -231,13 +247,21 @@ class ProductionNode(Node):
         return self.production.index
 
     def replace_kids(self, kids: tuple[Node, ...]) -> None:
+        touch(self)
         self._kids = tuple(kids)
         self.n_terms = sum(kid.n_terms for kid in kids)
 
     def adopt_kids(self) -> None:
         """Point the children's parent links at this node."""
         for kid in self._kids:
+            touch(kid)
             kid.parent = self
+
+    def _capture_structure(self):
+        return self._kids
+
+    def _restore_structure(self, structure) -> None:
+        self._kids = structure
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProductionNode({self.production.lhs}->{' '.join(self.production.rhs)})"
@@ -258,6 +282,7 @@ class SymbolNode(Node):
         self._symbol = first.symbol
         self._alternatives: list[Node] = [first]
         self.n_terms = first.n_terms
+        touch(first)
         first.parent = self
         # Alternatives belong to a non-deterministic region: they must
         # never be shifted whole by state matching, or the competing
@@ -285,9 +310,17 @@ class SymbolNode(Node):
     def add_choice(self, node: Node) -> None:
         """Add an alternative interpretation (idempotent)."""
         if node not in self._alternatives:
+            touch(self)
+            touch(node)
             self._alternatives.append(node)
             node.parent = self
             node.state = NO_STATE  # see __init__: alternatives never match
+
+    def _capture_structure(self):
+        return tuple(self._alternatives)
+
+    def _restore_structure(self, structure) -> None:
+        self._alternatives = list(structure)
 
     def selected(self) -> Node | None:
         """The interpretation chosen by disambiguation, if decided.
@@ -346,12 +379,20 @@ class ErrorNode(Node):
         return True
 
     def replace_kids(self, kids: tuple[Node, ...]) -> None:
+        touch(self)
         self._kids = tuple(kids)
         self.n_terms = sum(kid.n_terms for kid in self._kids)
 
     def adopt_kids(self) -> None:
         for kid in self._kids:
+            touch(kid)
             kid.parent = self
+
+    def _capture_structure(self):
+        return self._kids
+
+    def _restore_structure(self, structure) -> None:
+        self._kids = structure
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ErrorNode({len(self._kids)} kids, {self.n_terms} terms)"

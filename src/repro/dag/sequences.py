@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
+from .journal import touch
 from .nodes import NO_STATE, Node
 
 # Rebuild a subtree whose depth exceeds 2*ceil(log2(size)) + SLACK; keeps
@@ -177,6 +178,12 @@ class SequenceNode(Node):
     def is_sequence_node(self) -> bool:
         return True
 
+    def _capture_structure(self):
+        return self._root
+
+    def _restore_structure(self, structure) -> None:
+        self._root = structure
+
     @property
     def n_items(self) -> int:
         return _items_of(self._root) if self._root is not None else 0
@@ -219,6 +226,7 @@ class SequenceNode(Node):
         untouched prefix/suffix subtrees are shared with the previous
         version.  Parent pointers along the new path are set here.
         """
+        touch(self)
         before = _PART_COUNTER[0]
         prefix, tail = _split(self._symbol, self._root, start)
         _, suffix = _split(self._symbol, tail, end - start)
@@ -234,12 +242,14 @@ class SequenceNode(Node):
         """Fix parent pointers for every part reachable fresh from the
         root (stops at parts whose parent link is already correct)."""
         if self._root is not None:
+            touch(self._root)
             self._root.parent = self
         stack = [p for p in self.kids if isinstance(p, SequencePart)]
         while stack:
             part = stack.pop()
             for kid in part.kids:
                 if kid.parent is not part:
+                    touch(kid)
                     kid.parent = part
                     if isinstance(kid, SequencePart):
                         stack.append(kid)

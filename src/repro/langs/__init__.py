@@ -1,6 +1,16 @@
 """Bundled languages: MiniC (typedef ambiguity), calculator, LR(2), and
-synthetic program generators standing in for the paper's benchmark suite."""
+synthetic program generators standing in for the paper's benchmark suite.
 
+:func:`get_language` is the front door: it maps a built-in language name
+to its (memoized) constructor, so callers share one
+:class:`~repro.language.Language` instance per process -- construction
+is cached both here (per name) and at the parse-table layer (per
+grammar content, see `repro.tables.cache`).
+"""
+
+from ..language import Language
+from .calc import calc_language
+from .lr2 import lr2_language
 from .minic import (
     MINIC_GRAMMAR,
     declared_name,
@@ -18,11 +28,42 @@ from .minifortran import (
     parse_minifortran,
 )
 
+# Name -> memoized zero-argument constructor.  Each constructor is
+# ``lru_cache``d in its own module, so repeated lookups are free.
+_REGISTRY = {
+    "calc": calc_language,
+    "minic": minic_language,
+    "minifortran": minifortran_language,
+    "lr2": lr2_language,
+}
+
+
+def language_names() -> tuple[str, ...]:
+    """Names accepted by :func:`get_language`, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_language(name: str) -> Language:
+    """The built-in language called ``name`` (shared per process)."""
+    try:
+        constructor = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(language_names())
+        raise KeyError(
+            f"unknown built-in language {name!r} (known: {known})"
+        ) from None
+    return constructor()
+
+
 __all__ = [
     "FortranAnalyzer",
     "MINIC_GRAMMAR",
     "MINIFORTRAN_GRAMMAR",
+    "calc_language",
+    "get_language",
     "is_fortran_choice",
+    "language_names",
+    "lr2_language",
     "minifortran_language",
     "parse_minifortran",
     "declared_name",

@@ -4,7 +4,10 @@ This is the unit Ensemble compiles off-line from a high-level
 specification and loads into the running environment (paper section 5).
 Construction is pure computation here: parse the DSL, expand regular
 right parts, build the (conflict-preserving) LALR or SLR table, and
-compile the lexical DFA.
+compile the lexical DFA.  Table construction goes through the
+persistent cache in :mod:`repro.tables.cache`, mirroring the paper's
+off-line table generation: a process pays for any given grammar's
+table at most once, and warm processes load it from disk.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from .grammar.cfg import Grammar, Production
 from .grammar.dsl import GrammarSpec, parse_grammar_spec
 from .lexing.lexer import LexerSpec
 from .lexing.tokens import BOS, EOS
+from .tables.cache import build_table
 from .tables.parse_table import ParseTable
 
 # The pseudo-production for document roots: root -> bos body eos.
@@ -43,8 +47,11 @@ class Language:
     ) -> None:
         self.spec = spec
         self.grammar: Grammar = spec.grammar
-        self.table = ParseTable(
-            spec.grammar, method=method, resolve_precedence=resolve_precedence
+        self.table = build_table(
+            spec.grammar,
+            method=method,
+            resolve_precedence=resolve_precedence,
+            label=f"language:{spec.grammar.start}",
         )
         self.lexer = LexerSpec.from_grammar_spec(spec)
         self.root_production = make_root_production(self.grammar.start)
@@ -85,7 +92,11 @@ class Language:
                 symbol,
                 precedence=self.grammar.precedence,
             )
-            table = ParseTable(fragment_grammar, method=self.table.method)
+            table = build_table(
+                fragment_grammar,
+                method=self.table.method,
+                label=f"fragment:{symbol}",
+            )
             self._fragment_tables[symbol] = table
         return table
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..dag.journal import touch
 from ..dag.nodes import NO_STATE, Node, ProductionNode, SymbolNode, TerminalNode
 from ..grammar.cfg import Production
 from ..tables.parse_table import ACCEPT, REDUCE, SHIFT, ParseTable
@@ -381,6 +382,7 @@ class _ParseRun:
             )
             if pooled:
                 node = pooled.pop()
+                touch(node)
                 node.state = state
                 self.stats.nodes_reused += 1
                 self.new_nodes.append(node)
@@ -513,6 +515,7 @@ class _ParseRun:
                     existing.add_link(link)
                 else:
                     self.active.append(GssNode(target, link))
+            touch(la)
             la.state = self.for_shifter[0][0].state if single else NO_STATE
             self.stats.shifts += 1
             if self.tracer is not None:

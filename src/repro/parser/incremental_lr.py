@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Literal
 
+from ..dag.journal import touch
 from ..dag.nodes import NO_STATE, Node, ProductionNode
 from ..tables.parse_table import ACCEPT, REDUCE, SHIFT, ParseTable
 from .input_stream import InputStream
@@ -86,6 +87,7 @@ class IncrementalLRParser:
                     target = self.table.goto(state, la.symbol)
                     assert target is not None
                     if self.mode == "state-matching":
+                        touch(la)
                         la.state = state
                     nodes.append(la)
                     states.append(target)
@@ -125,6 +127,7 @@ class IncrementalLRParser:
                 )
             kind, *rest = actions[0]
             if kind == SHIFT:
+                touch(la)
                 la.state = state
                 nodes.append(la)
                 states.append(rest[0])
@@ -160,6 +163,7 @@ class IncrementalLRParser:
             )
             if pooled:
                 node = pooled.pop()
+                touch(node)
                 node.state = stored
                 stats.nodes_reused += 1
         if node is None:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..dag.journal import touch
 from ..dag.nodes import ErrorNode, Node, ProductionNode, TerminalNode
 from ..dag.sequences import SequenceNode, SequencePart, parts_created
 from ..dag.traversal import first_terminal, last_terminal, previous_terminal
@@ -133,6 +134,7 @@ def collapse_sequences(
     for root in roots:
         items, base = _spine_items(root, replacements)
         if base is not None:
+            touch(base)
             base.replace_items(base.n_items, base.n_items, items)
             base.state = root.state
             replacement: SequenceNode = base
@@ -348,5 +350,6 @@ def _refresh_ancestors(node: Node) -> None:
         if isinstance(current, ProductionNode):
             current.replace_kids(current.kids)  # recomputes n_terms
         elif isinstance(current, (SequenceNode, SequencePart)):
+            touch(current)
             current.n_terms = sum(k.n_terms for k in current.kids)
         current = current.parent

@@ -1,5 +1,13 @@
 """LR(0) automata and conflict-preserving LALR(1)/SLR(1) parse tables."""
 
+from .cache import (
+    CacheStats,
+    build_table,
+    cache_dir,
+    cache_info,
+    clear_cache,
+    grammar_fingerprint,
+)
 from .lalr import LALRLookaheads, digraph
 from .lr0 import Item, LR0Automaton, State
 from .parse_table import (
@@ -17,6 +25,7 @@ __all__ = [
     "REDUCE",
     "SHIFT",
     "Action",
+    "CacheStats",
     "Conflict",
     "Item",
     "LALRLookaheads",
@@ -24,5 +33,10 @@ __all__ = [
     "ParseTable",
     "State",
     "TableError",
+    "build_table",
+    "cache_dir",
+    "cache_info",
+    "clear_cache",
     "digraph",
+    "grammar_fingerprint",
 ]

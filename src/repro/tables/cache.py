@@ -1,0 +1,271 @@
+"""Persistent parse-table cache.
+
+Table construction (LR(0) automaton + LALR lookaheads + conflict
+filtering) dominates language start-up cost, yet its inputs are pure
+values: the grammar, the table method, and the precedence-filter flag.
+This module memoizes construction behind a content hash of those
+inputs, at two levels:
+
+* **in-process**: a plain dict from fingerprint to the live
+  :class:`~repro.tables.parse_table.ParseTable` -- repeated language
+  construction in one process is a dict lookup;
+* **on disk**: tables are pickled into a versioned cache directory so a
+  *new* process pays deserialization cost instead of construction cost.
+  The directory is ``$REPRO_TABLE_CACHE`` when set, else
+  ``$XDG_CACHE_HOME/repro`` (defaulting to ``~/.cache/repro``), under a
+  ``tables-v{N}`` subdirectory.  Bumping ``CACHE_FORMAT`` orphans old
+  entries instead of misreading them.
+
+Invalidation is structural: the fingerprint covers every field of every
+production, the terminal set, the start symbol, the precedence
+declarations, and the construction options.  Any grammar change --
+reordering alternatives, adding a precedence level, switching
+``lalr``/``slr`` -- produces a different key, so stale hits are
+impossible by construction.  Corrupt or unreadable disk entries are
+treated as misses and rebuilt.
+
+Set ``REPRO_TABLE_CACHE`` to ``0``, ``off``, or ``none`` to disable the
+disk layer (the in-process memo stays on; it is semantically invisible
+because tables are immutable after construction except for internal
+memo dictionaries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Literal
+
+from ..grammar.cfg import Grammar
+from .parse_table import ParseTable
+
+__all__ = [
+    "CACHE_ENV",
+    "CACHE_FORMAT",
+    "CacheStats",
+    "build_table",
+    "cache_dir",
+    "cache_info",
+    "clear_cache",
+    "grammar_fingerprint",
+]
+
+CACHE_ENV = "REPRO_TABLE_CACHE"
+
+# Bump when ParseTable's pickled layout changes incompatibly.
+CACHE_FORMAT = 1
+
+_DISABLED_VALUES = frozenset({"", "0", "off", "none", "disabled"})
+
+
+@dataclass
+class CacheStats:
+    """Counters for one process's table-cache traffic."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_errors: int = 0
+    entries: dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "disk_errors": self.disk_errors,
+        }
+
+
+_memory: dict[str, ParseTable] = {}
+_stats = CacheStats()
+
+
+# -- fingerprinting -----------------------------------------------------------
+
+
+def grammar_fingerprint(
+    grammar: Grammar,
+    method: str,
+    resolve_precedence: bool,
+) -> str:
+    """Stable content hash of everything table construction reads.
+
+    Uses an explicit canonical text rendering rather than pickle so the
+    key is independent of Python's pickle protocol details and survives
+    interpreter upgrades.
+    """
+    parts: list[str] = [
+        f"format={CACHE_FORMAT}",
+        f"method={method}",
+        f"prec={int(resolve_precedence)}",
+        f"start={grammar.start}",
+        "terminals=" + ",".join(sorted(grammar.terminals)),
+    ]
+    for prod in grammar.productions:
+        parts.append(
+            "prod=%d:%s:%s:%s:%d:%s"
+            % (
+                prod.index,
+                prod.lhs,
+                "\x1f".join(prod.rhs),
+                prod.prec_symbol or "",
+                int(prod.is_sequence),
+                "\x1f".join(prod.tags),
+            )
+        )
+    for level in grammar.precedence:
+        parts.append(
+            "prec-level=%d:%s:%s"
+            % (level.level, level.assoc.name, ",".join(level.symbols))
+        )
+    blob = "\x1e".join(parts).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# -- disk layer ---------------------------------------------------------------
+
+
+def cache_dir() -> Path | None:
+    """Resolved on-disk cache directory, or None when disabled."""
+    configured = os.environ.get(CACHE_ENV)
+    if configured is not None:
+        if configured.strip().lower() in _DISABLED_VALUES:
+            return None
+        base = Path(configured)
+    else:
+        xdg = os.environ.get("XDG_CACHE_HOME")
+        base = (Path(xdg) if xdg else Path.home() / ".cache") / "repro"
+    return base / f"tables-v{CACHE_FORMAT}"
+
+
+def _entry_path(directory: Path, key: str) -> Path:
+    return directory / f"{key}.pickle"
+
+
+def _disk_load(key: str) -> ParseTable | None:
+    directory = cache_dir()
+    if directory is None:
+        return None
+    path = _entry_path(directory, key)
+    try:
+        with open(path, "rb") as fh:
+            table = pickle.load(fh)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        # Corrupt, truncated, or written by an incompatible interpreter:
+        # treat as a miss and let the rebuilt entry overwrite it.
+        _stats.disk_errors += 1
+        return None
+    if not isinstance(table, ParseTable):
+        _stats.disk_errors += 1
+        return None
+    return table
+
+
+def _disk_store(key: str, table: ParseTable) -> None:
+    directory = cache_dir()
+    if directory is None:
+        return
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: concurrent processes may race on the same key;
+        # both write a tmp file and the last rename wins with a complete
+        # entry either way.
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(table, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, _entry_path(directory, key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        _stats.stores += 1
+    except Exception:
+        # A read-only or full cache directory must never break parsing.
+        _stats.disk_errors += 1
+
+
+# -- public API ---------------------------------------------------------------
+
+
+def build_table(
+    grammar: Grammar,
+    method: Literal["lalr", "slr"] = "lalr",
+    resolve_precedence: bool = True,
+    *,
+    label: str | None = None,
+) -> ParseTable:
+    """Construct-or-fetch a parse table for ``grammar``.
+
+    Drop-in replacement for ``ParseTable(grammar, ...)``: first checks
+    the in-process memo, then the on-disk cache, and only then runs the
+    real construction (storing the result in both layers).  ``label`` is
+    a human-readable tag recorded in the stats view.
+    """
+    key = grammar_fingerprint(grammar, method, resolve_precedence)
+    table = _memory.get(key)
+    if table is not None:
+        _stats.memory_hits += 1
+        return table
+    table = _disk_load(key)
+    if table is not None:
+        _stats.disk_hits += 1
+    else:
+        _stats.misses += 1
+        table = ParseTable(
+            grammar, method=method, resolve_precedence=resolve_precedence
+        )
+        _disk_store(key, table)
+    _memory[key] = table
+    if label:
+        _stats.entries.setdefault(key, label)
+    return table
+
+
+def clear_cache(disk: bool = False) -> None:
+    """Drop the in-process memo; with ``disk=True`` also remove entries."""
+    _memory.clear()
+    if disk:
+        directory = cache_dir()
+        if directory is not None and directory.is_dir():
+            for path in directory.glob("*.pickle"):
+                try:
+                    path.unlink()
+                except OSError:
+                    _stats.disk_errors += 1
+
+
+def cache_info() -> dict:
+    """Stats snapshot for the ``repro tables`` CLI view."""
+    directory = cache_dir()
+    disk_entries = []
+    if directory is not None and directory.is_dir():
+        for path in sorted(directory.glob("*.pickle")):
+            disk_entries.append(
+                {"key": path.stem, "bytes": path.stat().st_size}
+            )
+    return {
+        "dir": str(directory) if directory is not None else None,
+        "format": CACHE_FORMAT,
+        "memory_entries": len(_memory),
+        "disk_entries": disk_entries,
+        "labels": dict(_stats.entries),
+        **_stats.as_dict(),
+    }
+
+
+def reset_stats() -> None:
+    """Zero the counters (test isolation)."""
+    global _stats
+    _stats = CacheStats()

@@ -13,10 +13,12 @@ abstract parse DAG, and keeps all three consistent across edits:
   exists, and panic-mode error isolation confines the damage to
   :class:`~repro.dag.nodes.ErrorNode` regions when it does not.
 
-Every parse is transactional by default: the complete analysis state is
-snapshotted before the attempt and restored if *anything* goes wrong, so
-no exception -- syntax error, invariant violation, injected fault -- can
-leave a document between versions.
+Every parse is transactional by default: a first-touch mutation journal
+(see `repro.versioned.transactions`) records old values as the pipeline
+writes them and is replayed in reverse if *anything* goes wrong, so no
+exception -- syntax error, invariant violation, injected fault -- can
+leave a document between versions.  ``REPRO_TXN=snapshot`` selects the
+O(tree) value-snapshot strategy instead (the differential oracle).
 
 The previous tree is the paper's ``lastParsedVersion``; between parses,
 modifications accumulate in token-level bookkeeping and are turned into a
@@ -27,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..dag.journal import touch
 from ..dag.nodes import ErrorNode, Node, ProductionNode, TerminalNode
 from ..dag.traversal import choice_points, error_regions, unparse
 from ..dag.validate import check_document, validation_enabled
@@ -38,7 +41,11 @@ from ..parser.incremental_lr import IncrementalLRParser
 from ..parser.input_stream import InputStream
 from ..parser.plan import ParsePlan
 from ..testing.faults import crash_point
-from .transactions import DocumentSnapshot
+from .transactions import (
+    Transaction,
+    begin_transaction,
+    resolve_transaction_mode,
+)
 
 
 @dataclass(frozen=True)
@@ -87,6 +94,7 @@ class Document:
         engine: str = "iglr",
         balanced_sequences: bool = False,
         transactional: bool = True,
+        transaction: str | None = None,
     ) -> None:
         self.language = language
         self.text = text
@@ -96,10 +104,15 @@ class Document:
         # sequence-local edits are repaired by fragment reparse + splice
         # without running the main parser.
         self.balanced_sequences = balanced_sequences
-        # Transactional parses snapshot the full analysis state up front
-        # and roll back on any failure.  Opting out trades that guarantee
-        # for skipping the O(tree) capture on the success path.
-        self.transactional = transactional
+        # Transactional parses roll back on any failure.  The strategy
+        # (``journal`` first-touch undo log, ``snapshot`` O(tree) value
+        # capture, or ``none``) comes from the ``transaction`` argument,
+        # the REPRO_TXN environment variable, or the journal default;
+        # ``transactional=False`` is the legacy spelling of ``none``.
+        self.transaction_mode = (
+            "none" if not transactional else resolve_transaction_mode(transaction)
+        )
+        self.transactional = self.transaction_mode != "none"
         if engine == "iglr":
             self._parser = IGLRParser(language.table)
         elif engine == "lr":
@@ -191,28 +204,31 @@ class Document:
         injected into the commit pipeline -- leaves the document exactly
         as it was on entry.
         """
-        snapshot = DocumentSnapshot(self) if self.transactional else None
+        txn = begin_transaction(self, self.transaction_mode)
         try:
-            report = self._parse_attempt()
-        except ParseError:
-            if snapshot is not None:
-                snapshot.restore(self)
-            if not recover:
-                raise
             try:
-                report = self._recover_ladder(snapshot)
+                report = self._parse_attempt()
+            except ParseError:
+                if txn.real:
+                    txn.rollback(self)
+                if not recover:
+                    raise
+                try:
+                    report = self._recover_ladder(txn)
+                except BaseException:
+                    if txn.real:
+                        txn.rollback(self)
+                    raise
+                if report is None:
+                    if txn.real:
+                        txn.rollback(self)
+                    raise
             except BaseException:
-                if snapshot is not None:
-                    snapshot.restore(self)
+                if txn.real:
+                    txn.rollback(self)
                 raise
-            if report is None:
-                if snapshot is not None:
-                    snapshot.restore(self)
-                raise
-        except BaseException:
-            if snapshot is not None:
-                snapshot.restore(self)
-            raise
+        finally:
+            txn.close()
         if validation_enabled():
             check_document(self)
         return report
@@ -337,6 +353,7 @@ class Document:
         while stack:
             node = stack.pop()
             for kid in node.kids:
+                touch(kid)
                 kid.parent = node
                 if id(kid) in new_ids and id(kid) not in seen:
                     seen.add(id(kid))
@@ -362,13 +379,15 @@ class Document:
 
     # -- error recovery -----------------------------------------------------------
 
-    def _recover_ladder(self, snapshot: DocumentSnapshot | None):
+    def _recover_ladder(self, txn: Transaction):
         """Run the recovery ladder after a failed parse attempt.
 
         The document has already been rolled back to its pre-parse state
-        (transactional mode) when this runs.  Returns the report of the
-        step that succeeded, or None when no step applies -- the caller
-        then re-raises the original :class:`ParseError`.
+        (transactional mode) when this runs; ``txn`` is the enclosing
+        parse transaction, still open, used to re-reach that state when
+        reversion exhausts the history.  Returns the report of the step
+        that succeeded, or None when no step applies -- the caller then
+        re-raises the original :class:`ParseError`.
 
         Ladder, in order (paper 4.3 plus isolation):
 
@@ -401,27 +420,32 @@ class Document:
             )
             reverted.append(edit)
             crash_point("recover:after-revert")
-            attempt = DocumentSnapshot(self) if self.transactional else None
+            attempt = begin_transaction(self, self.transaction_mode)
             try:
-                self._attempt_parse()
-            except ParseError:
-                # A failed trial must not leak scratch state (fresh
-                # terminal nodes, clobbered parse states) into the next
-                # one: roll back to the post-revert snapshot, or at
-                # minimum drop the scratch nodes when non-transactional.
-                if attempt is not None:
-                    attempt.restore(self)
+                try:
+                    self._attempt_parse()
+                except ParseError:
+                    # A failed trial must not leak scratch state (fresh
+                    # terminal nodes, clobbered parse states) into the
+                    # next one: roll back to the post-revert state, or
+                    # at minimum drop the scratch nodes when
+                    # non-transactional.
+                    if attempt.real:
+                        attempt.rollback(self)
+                    else:
+                        self._fresh_nodes = {}
+                    continue
+                # The reverted prefix parses.  Discard the trial's
+                # scratch and in-place mutations, then incorporate it
+                # through the full pipeline -- which gets another shot
+                # at the sequence-repair fast path for the surviving
+                # edits.
+                if attempt.real:
+                    attempt.rollback(self)
                 else:
                     self._fresh_nodes = {}
-                continue
-            # The reverted prefix parses.  Discard the trial's scratch
-            # and in-place mutations, then incorporate it through the
-            # full pipeline -- which gets another shot at the
-            # sequence-repair fast path for the surviving edits.
-            if attempt is not None:
-                attempt.restore(self)
-            else:
-                self._fresh_nodes = {}
+            finally:
+                attempt.close()
             crash_point("recover:before-commit")
             report = self._parse_attempt()
             report.reverted_edits = reverted
@@ -429,8 +453,8 @@ class Document:
         # Reversion exhausted the history without converging.  Re-apply
         # the edits (by rolling back to the pre-parse state) and isolate
         # the errors instead.
-        if snapshot is not None:
-            snapshot.restore(self)
+        if txn.real:
+            txn.rollback(self)
             reverted = []
         report = self._parse_isolated()
         if report is not None:
@@ -445,25 +469,28 @@ class Document:
         :class:`~repro.dag.nodes.ErrorNode` subtrees.  Returns None (with
         the document restored) if even the tolerant parse fails.
         """
-        snapshot = DocumentSnapshot(self) if self.transactional else None
+        txn = begin_transaction(self, self.transaction_mode)
         try:
-            if self.tree is None:
-                self.tokens = self.language.lexer.lex(self.text)
-            terminals = [TerminalNode(tok) for tok in self.tokens]
-            self._fresh_nodes = {
-                id(tok): node for tok, node in zip(self.tokens, terminals)
-            }
-            # Batch re-derivation: the previous tree (if any) is
-            # abandoned wholesale, so the registry starts empty.
-            self._token_nodes = {}
-            self._removed_nodes = []
-            crash_point("isolate:reparse")
-            result = self._parser.parse_tolerant(terminals)
-        except ParseError:
-            if snapshot is not None:
-                snapshot.restore(self)
-            return None
-        self._commit(result)
+            try:
+                if self.tree is None:
+                    self.tokens = self.language.lexer.lex(self.text)
+                terminals = [TerminalNode(tok) for tok in self.tokens]
+                self._fresh_nodes = {
+                    id(tok): node for tok, node in zip(self.tokens, terminals)
+                }
+                # Batch re-derivation: the previous tree (if any) is
+                # abandoned wholesale, so the registry starts empty.
+                self._token_nodes = {}
+                self._removed_nodes = []
+                crash_point("isolate:reparse")
+                result = self._parser.parse_tolerant(terminals)
+            except ParseError:
+                if txn.real:
+                    txn.rollback(self)
+                return None
+            self._commit(result)
+        finally:
+            txn.close()
         return AnalysisReport(
             stats=result.stats,
             ambiguous_regions=len(choice_points(self.tree)),

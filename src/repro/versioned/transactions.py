@@ -1,4 +1,4 @@
-"""Transactional snapshots: rollback to the last good document version.
+"""Transactional parses: rollback to the last good document version.
 
 Incremental reparsing mutates the previous version's tree *in place*:
 subtree shifts overwrite recorded parse states, the node-retention pool
@@ -10,32 +10,66 @@ pipeline would otherwise leave the document half-mutated -- parsed-tree
 bookkeeping out of sync with the text, parent chains pointing into
 discarded structure.
 
-:class:`DocumentSnapshot` makes the whole pipeline transactional the
-simple, airtight way: capture every mutable field of every reachable
-node (plus the document's scalar state) before the attempt, write it all
-back on failure.  The capture is O(tree); the restore runs only on the
-failure path.  A mutation journal recording first-touch old values would
-cut the capture to O(touched region) -- the right next step for the
-production-scale goal -- but a value snapshot is trivially correct,
-which is what a rollback primitive must be first.
+Two rollback strategies implement the same guarantee:
 
-Snapshots are value-faithful: node *identities* survive rollback, so
+* **Journal** (:class:`JournalTransaction`, the default) -- a
+  first-touch :class:`~repro.dag.journal.MutationJournal` records each
+  node's old field values the first time a mutation site writes it;
+  rollback replays the journal in reverse.  Begin cost is O(tokens)
+  (shallow copies of the document's scalar bookkeeping, at C speed);
+  per-parse node cost is O(touched region).  This is the strategy that
+  keeps the *incremental* cost of a parse incremental.
+* **Snapshot** (:class:`SnapshotTransaction`) -- capture every mutable
+  field of every reachable node before the attempt, write it all back
+  on failure.  O(tree) on every parse, trivially correct; retained as
+  the differential-testing oracle and selectable via ``REPRO_TXN``.
+
+Select with ``Document(transaction=...)`` or the ``REPRO_TXN``
+environment variable (``journal`` | ``snapshot`` | ``none``).  Both
+strategies are value-faithful: node *identities* survive rollback, so
 annotations, the token registry, and any outstanding edit log keep
-working after a restore exactly as before the failed attempt.
+working after a restore exactly as before the failed attempt.  The
+fault-injection suite asserts the two restore bit-identical state.
 """
 
 from __future__ import annotations
 
-from ..dag.nodes import ErrorNode, Node, ProductionNode, SymbolNode
-from ..dag.sequences import SequenceNode
+import os
+
+from ..dag.journal import MutationJournal, activate, deactivate
+from ..dag.nodes import Node
 
 # Record layout: (node, state, parent, n_terms, structure) where
-# ``structure`` is the node-kind-specific mutable link bundle.
+# ``structure`` is the node-kind-specific mutable link bundle
+# (``Node._capture_structure``) -- shared with the mutation journal.
 _Record = tuple
 
+# Environment knob for the default transaction strategy.
+TXN_ENV = "REPRO_TXN"
+TXN_MODES = ("journal", "snapshot", "none")
 
-class DocumentSnapshot:
-    """A restorable snapshot of a Document's complete analysis state."""
+
+def resolve_transaction_mode(explicit: str | None = None) -> str:
+    """The transaction strategy to use: explicit arg > ``REPRO_TXN`` > journal."""
+    if explicit is not None:
+        if explicit not in TXN_MODES:
+            raise ValueError(
+                f"unknown transaction mode {explicit!r}; "
+                f"expected one of {', '.join(TXN_MODES)}"
+            )
+        return explicit
+    env = os.environ.get(TXN_ENV, "").strip().lower()
+    if env in TXN_MODES:
+        return env
+    return "journal"
+
+
+class _DocumentState:
+    """The document's own (non-node) mutable state, captured shallowly.
+
+    Token lists and registries are copied at C speed; tree nodes are
+    *not* walked here -- node-level capture is the strategies' job.
+    """
 
     __slots__ = (
         "text",
@@ -47,7 +81,6 @@ class DocumentSnapshot:
         "fresh_nodes",
         "last_result",
         "tree",
-        "records",
     )
 
     def __init__(self, document) -> None:
@@ -61,12 +94,8 @@ class DocumentSnapshot:
         self.fresh_nodes = dict(doc._fresh_nodes)
         self.last_result = doc.last_result
         self.tree = doc.tree
-        self.records: list[_Record] = (
-            _capture(doc.tree) if doc.tree is not None else []
-        )
 
     def restore(self, document) -> None:
-        """Write the snapshot back; the document forgets the failed attempt."""
         doc = document
         doc.text = self.text
         doc.version = self.version
@@ -77,18 +106,27 @@ class DocumentSnapshot:
         doc._fresh_nodes = dict(self.fresh_nodes)
         doc.last_result = self.last_result
         doc.tree = self.tree
+
+
+class DocumentSnapshot:
+    """A restorable snapshot of a Document's complete analysis state."""
+
+    __slots__ = ("state", "records")
+
+    def __init__(self, document) -> None:
+        self.state = _DocumentState(document)
+        self.records: list[_Record] = (
+            _capture(document.tree) if document.tree is not None else []
+        )
+
+    def restore(self, document) -> None:
+        """Write the snapshot back; the document forgets the failed attempt."""
+        self.state.restore(document)
         for node, state, parent, n_terms, structure in self.records:
             node.state = state
             node.parent = parent
             node.n_terms = n_terms
-            if structure is None:
-                continue
-            if isinstance(node, (ProductionNode, ErrorNode)):
-                node._kids = structure
-            elif isinstance(node, SymbolNode):
-                node._alternatives = list(structure)
-            elif isinstance(node, SequenceNode):
-                node._root = structure
+            node._restore_structure(structure)
 
 
 def _capture(root: Node) -> list[_Record]:
@@ -106,14 +144,102 @@ def _capture(root: Node) -> list[_Record]:
         if id(node) in seen:
             continue
         seen.add(id(node))
-        if isinstance(node, (ProductionNode, ErrorNode)):
-            structure = node._kids
-        elif isinstance(node, SymbolNode):
-            structure = tuple(node._alternatives)
-        elif isinstance(node, SequenceNode):
-            structure = node._root
-        else:
-            structure = None
-        records.append((node, node.state, node.parent, node.n_terms, structure))
+        records.append(
+            (
+                node,
+                node.state,
+                node.parent,
+                node.n_terms,
+                node._capture_structure(),
+            )
+        )
         stack.extend(node.kids)
     return records
+
+
+# -- transactions --------------------------------------------------------------
+
+
+class Transaction:
+    """One parse attempt's rollback scope.
+
+    ``rollback`` restores the document to the state at construction and
+    may be called repeatedly (the recovery ladder rolls back, mutates
+    further, and rolls back again).  ``close`` releases the scope and
+    must run exactly once, on every exit path -- callers use
+    ``try/finally``.  ``real`` is False only for the null strategy, so
+    the ladder can keep its non-transactional fallback behaviour.
+    """
+
+    real = True
+
+    def rollback(self, document) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the transaction scope (idempotent)."""
+
+
+class SnapshotTransaction(Transaction):
+    """O(tree) value snapshot up front; restore is a bulk write-back."""
+
+    __slots__ = ("_snapshot",)
+
+    def __init__(self, document) -> None:
+        self._snapshot = DocumentSnapshot(document)
+
+    @property
+    def node_records(self) -> int:
+        return len(self._snapshot.records)
+
+    def rollback(self, document) -> None:
+        self._snapshot.restore(document)
+
+
+class JournalTransaction(Transaction):
+    """First-touch journal: capture on write, replay in reverse on failure."""
+
+    __slots__ = ("_state", "_journal", "_open")
+
+    def __init__(self, document) -> None:
+        self._state = _DocumentState(document)
+        self._journal = MutationJournal()
+        self._open = True
+        activate(self._journal)
+
+    @property
+    def node_records(self) -> int:
+        return len(self._journal)
+
+    def rollback(self, document) -> None:
+        # Replay first: node restores must see the failed attempt's
+        # writes undone before the scalar state points back at the old
+        # tree.  The journal stays active (reset) so a later rollback of
+        # the same transaction covers mutations made after this one.
+        self._journal.replay()
+        self._state.restore(document)
+
+    def close(self) -> None:
+        if self._open:
+            self._open = False
+            deactivate(self._journal)
+
+
+class NullTransaction(Transaction):
+    """Opt-out: no capture, no rollback (``transaction="none"``)."""
+
+    real = False
+
+    def rollback(self, document) -> None:  # pragma: no cover - never called
+        raise RuntimeError("null transaction cannot roll back")
+
+
+def begin_transaction(document, mode: str) -> Transaction:
+    """Open a transaction of the given strategy over ``document``."""
+    if mode == "journal":
+        return JournalTransaction(document)
+    if mode == "snapshot":
+        return SnapshotTransaction(document)
+    if mode == "none":
+        return NullTransaction()
+    raise ValueError(f"unknown transaction mode {mode!r}")

@@ -21,9 +21,39 @@ from repro.langs.calc import calc_language
 class TestMeasure:
     def test_time_fn_counts_runs(self):
         calls = []
-        timing = time_fn(lambda: calls.append(1), runs=3)
+        timing = time_fn(lambda: calls.append(1), runs=3, repeat=1)
         assert timing.runs == 3 and len(calls) == 3
         assert timing.per_run <= timing.seconds
+
+    def test_time_fn_repeats_and_reports_min_and_median(self):
+        calls = []
+        timing = time_fn(lambda: calls.append(1), runs=2, repeat=5)
+        assert len(calls) == 10
+        assert len(timing.samples) == 5
+        assert timing.seconds == min(timing.samples)
+        assert timing.seconds <= timing.median <= max(timing.samples)
+        assert timing.median_per_run == timing.median / 2
+
+    def test_time_fn_warmup_not_timed(self):
+        calls = []
+        timing = time_fn(lambda: calls.append(1), runs=1, repeat=2, warmup=3)
+        assert len(calls) == 5
+        assert len(timing.samples) == 2
+
+    def test_time_fn_disables_gc_during_timing(self):
+        import gc
+
+        observed = []
+        assert gc.isenabled()
+        time_fn(lambda: observed.append(gc.isenabled()), repeat=1)
+        assert observed == [False]
+        assert gc.isenabled()  # restored afterwards
+
+    def test_measure_memory_sees_allocation(self):
+        from repro.bench import measure_memory
+
+        use = measure_memory(lambda: bytearray(256 * 1024))
+        assert use.peak_bytes >= 256 * 1024
 
     def test_parse_work(self):
         doc = Document(calc_language(), "x = 1;")

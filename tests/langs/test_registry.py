@@ -1,0 +1,27 @@
+"""The built-in language registry: names, memoization, sharing."""
+
+import pytest
+
+from repro.langs import get_language, language_names
+
+
+class TestRegistry:
+    def test_names(self):
+        assert language_names() == ("calc", "lr2", "minic", "minifortran")
+
+    @pytest.mark.parametrize("name", ["calc", "lr2", "minic", "minifortran"])
+    def test_every_name_constructs(self, name):
+        language = get_language(name)
+        assert language.table.n_states > 0
+
+    def test_memoized_per_process(self):
+        assert get_language("calc") is get_language("calc")
+
+    def test_shared_with_direct_constructor(self):
+        from repro.langs.calc import calc_language
+
+        assert get_language("calc") is calc_language()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="minifortran"):
+            get_language("cobol")

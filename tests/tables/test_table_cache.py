@@ -1,0 +1,169 @@
+"""Persistent parse-table cache: keys, layers, invalidation, resilience."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import Document, Language
+from repro.grammar.dsl import parse_grammar_spec
+from repro.tables import cache
+from repro.tables.parse_table import ParseTable
+
+CALC = """
+%token NUM /[0-9]+/
+%left '+'
+%left '*'
+expr : expr '+' expr | expr '*' expr | NUM ;
+"""
+
+VARIANT = CALC.replace("expr '*' expr |", "expr '*' expr | '(' expr ')' |")
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache.CACHE_ENV, str(tmp_path / "tables"))
+    cache.clear_cache()
+    cache.reset_stats()
+    yield
+    cache.clear_cache()
+    cache.reset_stats()
+
+
+def _grammar(text=CALC):
+    return parse_grammar_spec(text).grammar
+
+
+class TestFingerprint:
+    def test_stable_across_reparses(self):
+        a = cache.grammar_fingerprint(_grammar(), "lalr", True)
+        b = cache.grammar_fingerprint(_grammar(), "lalr", True)
+        assert a == b
+
+    def test_changes_with_grammar_content(self):
+        a = cache.grammar_fingerprint(_grammar(), "lalr", True)
+        b = cache.grammar_fingerprint(_grammar(VARIANT), "lalr", True)
+        assert a != b
+
+    def test_changes_with_method_and_precedence_flag(self):
+        g = _grammar()
+        keys = {
+            cache.grammar_fingerprint(g, "lalr", True),
+            cache.grammar_fingerprint(g, "slr", True),
+            cache.grammar_fingerprint(g, "lalr", False),
+        }
+        assert len(keys) == 3
+
+    def test_changes_with_precedence_declarations(self):
+        flipped = CALC.replace("%left '+'", "%right '+'")
+        a = cache.grammar_fingerprint(_grammar(), "lalr", True)
+        b = cache.grammar_fingerprint(_grammar(flipped), "lalr", True)
+        assert a != b
+
+
+class TestLayers:
+    def test_memory_hit_returns_same_object(self):
+        t1 = cache.build_table(_grammar())
+        t2 = cache.build_table(_grammar())
+        assert t1 is t2
+        assert cache.cache_info()["memory_hits"] == 1
+        assert cache.cache_info()["misses"] == 1
+
+    def test_disk_hit_after_memory_clear(self):
+        t1 = cache.build_table(_grammar())
+        cache.clear_cache()  # memory only
+        t2 = cache.build_table(_grammar())
+        assert t2 is not t1
+        info = cache.cache_info()
+        assert info["disk_hits"] == 1
+        assert t2.stats() == t1.stats()
+        assert t2.actions == t1.actions
+        assert t2.gotos == t1.gotos
+
+    def test_different_grammar_is_a_miss(self):
+        cache.build_table(_grammar())
+        cache.build_table(_grammar(VARIANT))
+        assert cache.cache_info()["misses"] == 2
+
+    def test_clear_disk_removes_entries(self):
+        cache.build_table(_grammar())
+        cache.clear_cache(disk=True)
+        assert cache.cache_info()["disk_entries"] == []
+        cache.build_table(_grammar())
+        assert cache.cache_info()["misses"] == 2
+
+
+class TestResilience:
+    def test_corrupt_entry_is_rebuilt(self, tmp_path):
+        t1 = cache.build_table(_grammar())
+        cache.clear_cache()
+        directory = cache.cache_dir()
+        [entry] = directory.glob("*.pickle")
+        entry.write_bytes(b"not a pickle")
+        t2 = cache.build_table(_grammar())
+        info = cache.cache_info()
+        assert info["disk_errors"] >= 1
+        assert info["misses"] == 2
+        assert t2.actions == t1.actions
+        # The rebuilt entry replaced the corrupt one.
+        cache.clear_cache()
+        cache.build_table(_grammar())
+        assert cache.cache_info()["disk_hits"] == 1
+
+    def test_wrong_object_type_is_rebuilt(self):
+        cache.build_table(_grammar())
+        cache.clear_cache()
+        directory = cache.cache_dir()
+        [entry] = directory.glob("*.pickle")
+        entry.write_bytes(pickle.dumps({"not": "a table"}))
+        table = cache.build_table(_grammar())
+        assert isinstance(table, ParseTable)
+        assert cache.cache_info()["disk_errors"] >= 1
+
+    def test_disabled_disk_cache(self, monkeypatch):
+        monkeypatch.setenv(cache.CACHE_ENV, "off")
+        assert cache.cache_dir() is None
+        cache.build_table(_grammar())
+        cache.clear_cache()
+        cache.build_table(_grammar())
+        assert cache.cache_info()["misses"] == 2
+        assert cache.cache_info()["disk_hits"] == 0
+
+    def test_unwritable_cache_dir_degrades_gracefully(self, tmp_path, monkeypatch):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        monkeypatch.setenv(cache.CACHE_ENV, str(blocked))
+        table = cache.build_table(_grammar())
+        assert isinstance(table, ParseTable)
+        assert cache.cache_info()["disk_errors"] >= 1
+
+
+class TestRoundTripBehaviour:
+    def test_disk_loaded_table_parses_identically(self):
+        lang1 = Language.from_dsl(CALC)
+        doc1 = Document(lang1, "1 + 2 * 3")
+        tree1 = doc1.parse()
+        cache.clear_cache()
+        lang2 = Language.from_dsl(CALC)
+        assert cache.cache_info()["disk_hits"] >= 1
+        doc2 = Document(lang2, "1 + 2 * 3")
+        tree2 = doc2.parse()
+        assert doc1.source_text() == doc2.source_text()
+        assert tree1.ambiguous_regions == tree2.ambiguous_regions
+        assert lang1.table.n_states == lang2.table.n_states
+
+    def test_fragment_tables_cached_too(self):
+        lang1 = Language.from_dsl("%token NUM /[0-9]+/\nprogram : NUM* ;")
+        [seq] = {
+            p.lhs for p in lang1.grammar.productions if p.is_sequence
+        }
+        frag1 = lang1.fragment_table(seq)
+        before = cache.cache_info()["misses"]
+        cache.clear_cache()
+        lang2 = Language.from_dsl("%token NUM /[0-9]+/\nprogram : NUM* ;")
+        frag2 = lang2.fragment_table(seq)
+        info = cache.cache_info()
+        assert info["misses"] == before  # both tables came from disk
+        assert info["disk_hits"] >= 2
+        assert frag2.actions == frag1.actions

@@ -116,6 +116,55 @@ class TestCli:
         out = capsys.readouterr().out
         assert "error region(s) isolated" in out
 
+    def test_builtin_language_name(self, tmp_path, capsys):
+        source = tmp_path / "prog.calc"
+        source.write_text("a = 1 + 2;")
+        assert main(["parse", "calc", str(source)]) == 0
+        assert "shifts" in capsys.readouterr().out
+
+    def test_unknown_name_still_reports_missing_file(self, capsys):
+        assert main(["grammar", "no-such-language"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_profile_flag(self, calc_files, capsys):
+        grammar, source = calc_files
+        assert main(["--profile", "parse", grammar, source]) == 0
+        captured = capsys.readouterr()
+        assert "shifts" in captured.out
+        assert "cumulative time" in captured.err
+        assert "cmd_parse" in captured.err
+
+
+class TestTablesCommand:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        from repro.tables import cache
+
+        monkeypatch.setenv(cache.CACHE_ENV, str(tmp_path / "tables"))
+        cache.clear_cache()
+        cache.reset_stats()
+        yield
+        cache.clear_cache()
+        cache.reset_stats()
+
+    def test_stats_after_build(self, calc_files, capsys):
+        grammar, _ = calc_files
+        assert main(["grammar", grammar]) == 0
+        capsys.readouterr()
+        assert main(["tables", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache dir:" in out
+        assert "1 miss(es)" in out
+        assert "on-disk entries: 1" in out
+
+    def test_clear(self, calc_files, capsys):
+        grammar, _ = calc_files
+        assert main(["grammar", grammar]) == 0
+        assert main(["tables", "--clear"]) == 0
+        capsys.readouterr()
+        assert main(["tables"]) == 0
+        assert "on-disk entries: 0" in capsys.readouterr().out
+
 
 class TestDiagnostics:
     def test_summary_fields(self):

@@ -1,0 +1,269 @@
+"""Journal-vs-snapshot differential: both strategies restore identical state.
+
+The first-touch mutation journal is only correct if every mutation site
+is instrumented; a missed site silently corrupts rollback.  These suites
+make that failure loud: a deep field-by-field fingerprint of the
+complete analysis state is taken before a parse, a fault is injected at
+every discoverable crash point, and the fingerprint after rollback must
+be bit-identical -- under *both* ``REPRO_TXN`` strategies, for every
+engine variation that mutates old structure (IGLR, deterministic LR,
+balanced sequences).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Document, Language
+from repro.dag.journal import active_count
+from repro.dag.validate import validate_document
+from repro.langs.calc import calc_language
+from repro.testing import InjectedFault, inject, observed_points
+from repro.versioned.transactions import (
+    JournalTransaction,
+    SnapshotTransaction,
+    resolve_transaction_mode,
+)
+
+pytestmark = pytest.mark.faults
+
+MODES = ("journal", "snapshot")
+
+LANG = Language.from_dsl(
+    """
+%token NUM /[0-9]+/
+%token ID /[a-z]+/
+program : stmt* ;
+stmt : ID '=' NUM ';' ;
+"""
+)
+
+
+def fingerprint(doc):
+    """Every field either rollback strategy is responsible for.
+
+    Nodes are keyed by identity (rollback is value-faithful: the same
+    objects must carry the same values), ordered by a deterministic
+    walk of the committed tree.
+    """
+    nodes = []
+    if doc.tree is not None:
+        seen = set()
+        stack = [doc.tree]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            nodes.append(
+                (
+                    id(node),
+                    type(node).__name__,
+                    node.state,
+                    id(node.parent) if node.parent is not None else None,
+                    node.n_terms,
+                    node._capture_structure()
+                    if node._capture_structure() is None
+                    else tuple(
+                        id(k)
+                        for k in (
+                            node._capture_structure()
+                            if isinstance(node._capture_structure(), tuple)
+                            else (node._capture_structure(),)
+                        )
+                    ),
+                )
+            )
+            stack.extend(node.kids)
+    return (
+        doc.text,
+        doc.version,
+        [(id(t), t.text, t.trivia) for t in doc.tokens],
+        sorted((k, id(v[1])) for k, v in doc._token_nodes.items()),
+        [id(n) for n in doc._removed_nodes],
+        list(doc._edit_log),
+        sorted((k, id(v)) for k, v in doc._fresh_nodes.items()),
+        id(doc.last_result) if doc.last_result is not None else None,
+        id(doc.tree) if doc.tree is not None else None,
+        tuple(nodes),
+    )
+
+
+def _edited_doc(mode, balanced=False, lang=None, text="a = 1; b = 2; c = 3;"):
+    doc = Document(
+        lang or LANG, text, transaction=mode, balanced_sequences=balanced
+    )
+    doc.parse()
+    return doc
+
+
+class TestFaultPointEquivalence:
+    """Every discoverable crash point rolls back bit-identically."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("balanced", [False, True])
+    def test_clean_edit_rollback_state_identical(self, mode, balanced):
+        lang = calc_language() if balanced else LANG
+        doc = _edited_doc(mode, balanced=balanced, lang=lang)
+        doc.edit(4, 1, "7")
+        points = observed_points(doc.parse)
+        assert points, "edit parse must pass crash points"
+        for point in points:
+            doc = _edited_doc(mode, balanced=balanced, lang=lang)
+            doc.edit(4, 1, "7")
+            before = fingerprint(doc)
+            with inject(point):
+                with pytest.raises(InjectedFault):
+                    doc.parse()
+            assert fingerprint(doc) == before, (mode, point)
+            report = doc.parse()  # and the retry completes cleanly
+            assert report.fully_incorporated
+            assert validate_document(doc) == []
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_recovery_ladder_rollback_state_identical(self, mode):
+        doc = _edited_doc(mode)
+        doc.insert(0, "(((")
+        points = observed_points(doc.parse)
+        for point in points:
+            doc = _edited_doc(mode)
+            doc.insert(0, "(((")
+            before = fingerprint(doc)
+            with inject(point):
+                with pytest.raises(InjectedFault):
+                    doc.parse()
+            assert fingerprint(doc) == before, (mode, point)
+            report = doc.parse()
+            assert report.reverted_edits
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_engine_lr_rollback_state_identical(self, mode):
+        doc = Document(LANG, "a = 1; b = 2;", engine="lr", transaction=mode)
+        doc.parse()
+        doc.edit(4, 1, "9")
+        before = fingerprint(doc)
+        with inject("commit:rooted"):
+            with pytest.raises(InjectedFault):
+                doc.parse()
+        assert fingerprint(doc) == before
+        assert doc.parse().fully_incorporated
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_syntax_error_no_recover_state_identical(self, mode):
+        from repro.parser.iglr import ParseError
+
+        doc = _edited_doc(mode)
+        doc.insert(0, ")")
+        before = fingerprint(doc)
+        with pytest.raises(ParseError):
+            doc.parse(recover=False)
+        assert fingerprint(doc) == before
+
+
+class TestJournalVsSnapshotSideBySide:
+    """Identical edit scripts leave identical observable documents."""
+
+    @pytest.mark.parametrize("balanced", [False, True])
+    def test_observable_state_matches_across_modes(self, balanced):
+        script = [
+            (4, 1, "77"),
+            (0, 0, "x = 5; "),
+            (2, 1, ""),  # breaks "x ="
+            (0, 2, "y"),
+        ]
+        results = {}
+        for mode in MODES:
+            lang = calc_language() if balanced else LANG
+            doc = Document(
+                lang,
+                "a = 1; b = 2; c = 3;",
+                transaction=mode,
+                balanced_sequences=balanced,
+            )
+            doc.parse()
+            log = []
+            for offset, length, text in script:
+                doc.edit(offset, length, text)
+                report = doc.parse()
+                log.append(
+                    (
+                        doc.text,
+                        doc.source_text(),
+                        doc.version,
+                        report.fully_incorporated,
+                        report.error_regions,
+                    )
+                )
+            assert validate_document(doc) == []
+            results[mode] = log
+        assert results["journal"] == results["snapshot"]
+
+
+class TestJournalEconomy:
+    """The point of the journal: O(touched) records, not O(tree)."""
+
+    def test_journal_records_fraction_of_snapshot(self):
+        from repro.langs.generators import generate_calc_program
+
+        text = generate_calc_program(256, seed=3)  # ~2k tokens
+        doc = Document(
+            calc_language(), text, transactional=False,
+            balanced_sequences=True,
+        )
+        doc.parse()
+        offset = text.index("=", len(text) // 2) + 2
+        doc.edit(offset, 1, "9")
+
+        snapshot_records = SnapshotTransaction(doc).node_records
+
+        txn = JournalTransaction(doc)
+        try:
+            doc._parse_attempt()
+            journal_records = txn.node_records
+            txn.rollback(doc)
+        finally:
+            txn.close()
+
+        assert journal_records > 0
+        # The ISSUE acceptance bar is >=5x; structurally the gap is far
+        # larger (touched region vs whole tree), so assert with margin.
+        assert snapshot_records >= 20 * journal_records
+
+    def test_journal_stack_balanced_after_parses(self):
+        doc = Document(LANG, "a = 1;", transaction="journal")
+        doc.parse()
+        doc.insert(0, "(((")
+        doc.parse()  # recovery ladder opens and closes nested journals
+        with inject("commit:rooted"):
+            doc.edit(0, 0, "z = 9; ")
+            with pytest.raises(InjectedFault):
+                doc.parse()
+        doc.parse()
+        assert active_count() == 0
+
+
+class TestModeResolution:
+    def test_default_is_journal(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TXN", raising=False)
+        assert resolve_transaction_mode() == "journal"
+        assert Document(LANG, "").transaction_mode == "journal"
+
+    def test_env_selects_snapshot(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TXN", "snapshot")
+        assert Document(LANG, "").transaction_mode == "snapshot"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TXN", "snapshot")
+        assert (
+            Document(LANG, "", transaction="journal").transaction_mode
+            == "journal"
+        )
+
+    def test_transactional_false_is_none(self):
+        doc = Document(LANG, "", transactional=False)
+        assert doc.transaction_mode == "none"
+        assert not doc.transactional
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Document(LANG, "", transaction="bogus")
