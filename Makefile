@@ -6,11 +6,16 @@
 #   make bench       - reproduction benchmarks (writes benchmarks/results/)
 #   make bench-smoke - quick perf-regression gate: writes
 #                      BENCH_incremental.json and fails if per-edit
-#                      incremental time exceeds batch reparse time
+#                      incremental time exceeds batch reparse time, or if
+#                      disabled-observability overhead exceeds 3% of
+#                      per-edit latency
+#   make trace-demo  - sample observability run: writes a JSON-lines span
+#                      trace of an example edit session to
+#                      benchmarks/results/TRACE_demo.jsonl
 
 PY = PYTHONPATH=src python
 
-.PHONY: test smoke bench bench-smoke
+.PHONY: test smoke bench bench-smoke trace-demo
 
 test:
 	$(PY) -m pytest -q
@@ -24,3 +29,11 @@ bench:
 bench-smoke:
 	$(PY) -m repro.bench.incremental --smoke --check \
 		--out benchmarks/results/BENCH_incremental.json
+	$(PY) -m repro.bench.obs_overhead --check \
+		--out benchmarks/results/BENCH_obs_overhead.json
+
+trace-demo:
+	REPRO_TRACE=benchmarks/results/TRACE_demo.jsonl $(PY) -m repro \
+		edit calc examples/grammars/sample.calc "4:1:9" "10:0:+2" "10:2:" \
+		--balanced
+	@echo "wrote benchmarks/results/TRACE_demo.jsonl"

@@ -29,6 +29,7 @@ import statistics
 import sys
 from typing import Callable
 
+from .. import obs
 from ..langs import get_language
 from ..langs.generators import generate_calc_program, generate_minic
 from ..tables import cache as table_cache
@@ -88,10 +89,18 @@ def _bench_language(
             # Two parses per apply_and_cancel cycle.
             per_edit = timing.seconds / (2 * n_edits)
             work = parse_work(mdoc.last_result.stats)
+            # Observed work counters for one representative edit cycle
+            # (apply + cancel = 2 edits, 2 parses): where the per-edit
+            # time actually goes -- reuse vs rescan vs journal traffic.
+            with obs.collecting() as cycle_work:
+                apply_and_cancel(mdoc, edits[0])
             per_mode[mode] = {
                 "per_edit_seconds": per_edit,
                 "per_edit_median_seconds": timing.median / (2 * n_edits),
                 "last_parse_work": work,
+                "cycle_counters": {
+                    k: v for k, v in sorted(cycle_work.items()) if v
+                },
             }
 
         baseline = per_mode["none"]["per_edit_seconds"]

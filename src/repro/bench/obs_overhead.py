@@ -1,0 +1,189 @@
+"""Bench guard: disabled observability must cost (almost) nothing.
+
+``python -m repro.bench.obs_overhead --check`` fails when the
+instrumentation's *disabled* fast path costs more than 3% of the
+per-edit incremental latency.  This is the enforcement half of the
+``repro.obs`` design contract ("near-zero overhead when disabled").
+
+A naive A/B latency comparison (run the bench with instrumentation,
+run it with instrumentation deleted) is hopeless at the 3% level --
+run-to-run noise on a shared machine swamps the signal.  Instead the
+guard decomposes the overhead analytically:
+
+1. **per-call cost**: time ``obs.incr`` / ``with obs.span(...)`` in a
+   tight loop with the layer disabled (that path is one module-flag
+   test, plus a shared no-op context manager for spans);
+2. **calls per edit**: monkeypatch counting wrappers over the
+   ``repro.obs`` package attributes (instrumented modules call through
+   the package -- ``obs.incr(...)`` -- precisely so this interposition
+   sees every site) and run one edit cycle;
+3. **overhead fraction** = (calls x per-call cost) / measured per-edit
+   latency.
+
+Each factor is measured where it is most stable, so the product is a
+tight, reproducible bound rather than a noisy difference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from .. import obs
+from ..langs import get_language
+from ..langs.generators import generate_calc_program
+from ..versioned.document import Document
+from .measure import time_fn
+from .workloads import apply_and_cancel, self_cancelling_token_edits
+
+# Contract threshold: disabled instrumentation under 3% of edit latency.
+DEFAULT_THRESHOLD = 0.03
+
+SIZE = 256  # calc statements; mid-size keeps the run fast but realistic
+N_EDITS = 4
+
+
+def _per_call_seconds(body, calls_per_rep: int = 50_000, repeats: int = 5) -> float:
+    """Minimum observed cost of one ``body()`` call, loop overhead included.
+
+    Including loop overhead is deliberate: the instrumentation sites pay
+    it too, so the estimate stays conservative.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(calls_per_rep):
+            body()
+        best = min(best, time.perf_counter() - t0)
+    return best / calls_per_rep
+
+
+def _count_calls(document, edit) -> dict[str, int]:
+    """Instrumentation calls issued during one apply+cancel edit cycle."""
+    counts = {"incr": 0, "span": 0}
+    real_incr, real_span = obs.incr, obs.span
+
+    def counting_incr(name, amount=1):
+        counts["incr"] += 1
+        return real_incr(name, amount)
+
+    def counting_span(name, **attrs):
+        counts["span"] += 1
+        return real_span(name, **attrs)
+
+    obs.incr, obs.span = counting_incr, counting_span
+    try:
+        apply_and_cancel(document, edit)
+    finally:
+        obs.incr, obs.span = real_incr, real_span
+    return counts
+
+
+def run(repeat: int = 3) -> dict:
+    """Measure the disabled-path overhead budget; returns the report."""
+    obs.configure(enabled=False)
+
+    # Factor 1: per-call disabled cost.
+    incr = obs.incr
+
+    def incr_body() -> None:
+        incr("bench.disabled_counter")
+
+    span = obs.span
+
+    def span_body() -> None:
+        with span("bench.disabled_span"):
+            pass
+
+    incr_cost = _per_call_seconds(incr_body)
+    span_cost = _per_call_seconds(span_body)
+
+    # Factor 2: calls per edit, on the standard incremental workload.
+    language = get_language("calc")
+    text = generate_calc_program(SIZE, seed=11)
+    doc = Document(language, text, balanced_sequences=True)
+    doc.parse()
+    edits = self_cancelling_token_edits(doc, N_EDITS, seed=17)
+    apply_and_cancel(doc, edits[0])  # warm caches before counting
+    counts = _count_calls(doc, edits[0])
+    incr_per_edit = counts["incr"] / 2  # apply + cancel = 2 edits
+    span_per_edit = counts["span"] / 2
+
+    # Factor 3: the per-edit latency the overhead is charged against.
+    def cycle() -> None:
+        for edit in edits:
+            apply_and_cancel(doc, edit)
+
+    timing = time_fn(cycle, repeat=repeat, warmup=1)
+    per_edit = timing.seconds / (2 * N_EDITS)
+
+    overhead = incr_per_edit * incr_cost + span_per_edit * span_cost
+    fraction = overhead / per_edit if per_edit > 0 else 0.0
+    return {
+        "benchmark": "obs_overhead",
+        "workload": {"language": "calc", "size": SIZE, "n_edits": N_EDITS},
+        "per_call_seconds": {"incr": incr_cost, "span": span_cost},
+        "calls_per_edit": {"incr": incr_per_edit, "span": span_per_edit},
+        "per_edit_seconds": per_edit,
+        "overhead_seconds_per_edit": overhead,
+        "overhead_fraction": fraction,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.obs_overhead", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report to this path"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when the overhead fraction exceeds --threshold",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="maximum allowed disabled-overhead fraction (default 0.03)",
+    )
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    report = run(repeat=args.repeat)
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    print(
+        "disabled observability: "
+        f"{report['calls_per_edit']['incr']:.0f} incr + "
+        f"{report['calls_per_edit']['span']:.0f} span calls/edit, "
+        f"{report['overhead_seconds_per_edit'] * 1e6:.2f} us of "
+        f"{report['per_edit_seconds'] * 1e6:.2f} us per edit "
+        f"({report['overhead_fraction'] * 100:.3f}%)"
+    )
+    if args.check:
+        if report["overhead_fraction"] > args.threshold:
+            print(
+                "REGRESSION: disabled-observability overhead "
+                f"{report['overhead_fraction'] * 100:.3f}% exceeds "
+                f"{args.threshold * 100:.1f}% of per-edit latency",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"check passed: overhead below {args.threshold * 100:.1f}% "
+            "of per-edit latency"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -13,6 +13,13 @@ Commands:
   non-zero and prints the violations if the structure is corrupt.
 * ``tables``                    — parse-table cache statistics
   (``--stats``, default) or ``--clear`` to empty the on-disk cache.
+* ``stats LANG.g FILE [EDITS...]`` — run an edit session with the
+  observability layer on and print every work counter (tokens rescanned
+  vs reused, subtrees reused vs decomposed, journal records, cache
+  hits...) plus a per-span timing summary.
+* ``trace LANG.g FILE [EDITS...]`` — same session, printing the
+  hierarchical span trace (``--out FILE.jsonl`` also writes the
+  JSON-lines trace an ambient ``REPRO_TRACE=path`` would produce).
 
 ``LANG.g`` is a grammar-DSL description (see `repro.grammar.dsl`), or
 the name of a bundled language (``calc``, ``minic``, ``minifortran``,
@@ -28,6 +35,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import obs
 from .dag.traversal import dump_tree
 from .dag.validate import validate_document
 from .language import Language
@@ -177,6 +185,85 @@ def cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_observed_session(args: argparse.Namespace) -> Document:
+    """Parse ``args.file`` and apply ``args.edits`` with obs collecting.
+
+    The layer is enabled *before* the language loads so table-cache
+    traffic is captured too.  An exporter configured from the
+    environment (``REPRO_TRACE``/``REPRO_OBS``) is left untouched.
+    """
+    if not obs.enabled():
+        obs.configure(enabled=True)
+    language = _load_language(args.grammar, args.method)
+    document = Document(
+        language,
+        _read(args.file),
+        balanced_sequences=args.balanced,
+    )
+    document.parse()
+    for spec in args.edits:
+        offset, length, text = _parse_edit(spec)
+        document.edit(offset, length, text)
+        document.parse()
+    return document
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    document = _run_observed_session(args)
+    counters = obs.counters()
+    print(
+        f"session: {document.version} version(s), "
+        f"{len(args.edits)} edit(s), {len(document.tokens)} tokens"
+    )
+    if not counters:
+        print("no counters recorded")
+        return 0
+    print("\ncounters:")
+    group = None
+    for name in sorted(counters):
+        prefix = name.split(".", 1)[0]
+        if prefix != group:
+            group = prefix
+            print(f"  [{group}]")
+        print(f"    {name:32s} {counters[name]:>10d}")
+    summary = obs.span_summary()
+    if summary:
+        print("\nspans:")
+        print(f"    {'name':32s} {'calls':>7s} {'total ms':>10s} {'max ms':>10s}")
+        for name in sorted(summary):
+            entry = summary[name]
+            print(
+                f"    {name:32s} {entry['calls']:>7d} "
+                f"{entry['total_s'] * 1e3:>10.3f} {entry['max_s'] * 1e3:>10.3f}"
+            )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.out:
+        obs.configure(enabled=True, trace_path=args.out)
+    _run_observed_session(args)
+    obs.flush()
+    for record in obs.records():
+        indent = "  " * record.depth
+        line = f"{indent}{record.name} {record.duration * 1e3:.3f}ms"
+        if record.attrs:
+            line += " " + " ".join(
+                f"{k}={v}" for k, v in record.attrs.items()
+            )
+        deltas = " ".join(
+            f"{k}={v}" for k, v in sorted(record.deltas.items())
+        )
+        if deltas:
+            line += f"  [{deltas}]"
+        print(line)
+    if obs.dropped_records():
+        print(f"... {obs.dropped_records()} span(s) past the registry cap")
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -246,6 +333,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear", action="store_true", help="empty the on-disk cache"
     )
     p_tables.set_defaults(func=cmd_tables)
+
+    p_stats = sub.add_parser(
+        "stats", help="edit session with work counters and span timings"
+    )
+    p_stats.add_argument("grammar")
+    p_stats.add_argument("file")
+    p_stats.add_argument("edits", nargs="*", metavar="OFFSET:LENGTH:TEXT")
+    p_stats.add_argument("--balanced", action="store_true")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace", help="edit session printing the hierarchical span trace"
+    )
+    p_trace.add_argument("grammar")
+    p_trace.add_argument("file")
+    p_trace.add_argument("edits", nargs="*", metavar="OFFSET:LENGTH:TEXT")
+    p_trace.add_argument("--balanced", action="store_true")
+    p_trace.add_argument(
+        "--out", default=None, help="also write a JSON-lines trace here"
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -49,6 +49,8 @@ mode's O(tree) capture is gone and nothing replaces it.
 
 from __future__ import annotations
 
+from .. import obs
+
 # Active journals, outermost first.  A tuple (not a list) so the hot
 # no-journal path iterates a cached empty singleton; activation rebinds.
 _journals: tuple["MutationJournal", ...] = ()
@@ -90,6 +92,7 @@ class MutationJournal:
         if key in self._seen:
             return
         self._seen.add(key)
+        obs.incr("journal.records")
         self._records.append(
             (
                 node,

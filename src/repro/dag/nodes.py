@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from .. import obs
 from ..grammar.cfg import Production
 from ..lexing.tokens import Token
 from .journal import touch
@@ -279,6 +280,7 @@ class SymbolNode(Node):
 
     def __init__(self, first: Node) -> None:
         super().__init__(NO_STATE)
+        obs.incr("dag.choice_nodes")
         self._symbol = first.symbol
         self._alternatives: list[Node] = [first]
         self.n_terms = first.n_terms
@@ -312,6 +314,7 @@ class SymbolNode(Node):
         if node not in self._alternatives:
             touch(self)
             touch(node)
+            obs.incr("dag.choice_alternatives")
             self._alternatives.append(node)
             node.parent = self
             node.state = NO_STATE  # see __init__: alternatives never match

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
+from .. import obs
 from .journal import touch
 from .nodes import NO_STATE, Node
 
@@ -47,6 +48,7 @@ class SequencePart(Node):
     def __init__(self, symbol: str, left: Node, right: Node) -> None:
         super().__init__(NO_STATE)
         _PART_COUNTER[0] += 1
+        obs.incr("seq.parts_created")
         self._symbol = symbol
         self._kids = (left, right)
         self.n_terms = left.n_terms + right.n_terms
@@ -110,15 +112,27 @@ def _needs_rebuild(node: Node) -> bool:
     return node.depth > size.bit_length() * 2 + _DEPTH_SLACK
 
 
+def _rebalanced(symbol: str, node: Node | None) -> Node | None:
+    """Rebuild ``node`` if it violates the depth bound; else return it.
+
+    Every path that hands a subtree back to callers must pass through
+    here (or through :func:`_concat`, which uses it): a half returned
+    directly by :func:`_split` is just as able to carry excess depth as
+    a freshly joined pair, and skipping the check lets repeated
+    split/splice cycles degrade to skewed trees.
+    """
+    if node is not None and _needs_rebuild(node):
+        obs.incr("seq.rebuilds")
+        return _build(symbol, _flatten(node))
+    return node
+
+
 def _concat(symbol: str, left: Node | None, right: Node | None) -> Node | None:
     if left is None:
         return right
     if right is None:
         return left
-    joined: Node = SequencePart(symbol, left, right)
-    if _needs_rebuild(joined):
-        joined = _build(symbol, _flatten(joined))  # type: ignore[assignment]
-    return joined
+    return _rebalanced(symbol, SequencePart(symbol, left, right))
 
 
 def _split(
@@ -130,14 +144,14 @@ def _split(
     if not isinstance(root, SequencePart):
         return root, None
     if count >= root.n_items:
-        return root, None
+        return _rebalanced(symbol, root), None
     left, right = root.kids
     left_items = _items_of(left)
     if count < left_items:
         first, rest = _split(symbol, left, count)
         return first, _concat(symbol, rest, right)
     if count == left_items:
-        return left, right
+        return _rebalanced(symbol, left), _rebalanced(symbol, right)
     first, rest = _split(symbol, right, count - left_items)
     return _concat(symbol, left, first), rest
 

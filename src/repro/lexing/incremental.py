@@ -11,15 +11,23 @@ guarantee identical tokens, which makes boundary re-synchronization sound.
 
 Unchanged tokens are returned as the *same objects*, so downstream
 consumers (the parse DAG) can detect unchanged terminals by identity.
+
+Work stays proportional to the edit: the restart point comes from a
+forward offset walk bounded by the edit position, and re-synchronization
+uses a monotone cursor over the old stream instead of pre-materializing
+an offset map of every old token (which would be O(N) per edit and
+defeat the incremental bound).  ``RelexResult.examined`` counts the old
+tokens whose offsets were computed, so tests can assert the bound on
+work, not just on wall clock.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from dataclasses import dataclass, field
 
+from .. import obs
 from .lexer import LexerSpec
-from .tokens import EOS, Token, token_offsets
+from .tokens import EOS, Token
 
 
 @dataclass
@@ -32,6 +40,10 @@ class RelexResult:
         changed_end: index one past the last non-reused token.
         removed: old token objects no longer present in the stream.
         scanned: how many tokens were actually re-scanned (work metric).
+        examined: old tokens whose offsets were computed while locating
+            the restart point and the resync boundary (work metric; stays
+            O(edit) for edits at a fixed position, unlike ``scanned`` it
+            also exposes hidden bookkeeping walks).
     """
 
     tokens: list[Token]
@@ -39,6 +51,7 @@ class RelexResult:
     changed_end: int
     removed: list[Token] = field(default_factory=list)
     scanned: int = 0
+    examined: int = 0
 
     @property
     def changed(self) -> list[Token]:
@@ -59,41 +72,82 @@ def relex(
     ``old_tokens`` must be a complete stream for the pre-edit text (ending
     with EOS); ``new_text`` is the post-edit text.
     """
+    with obs.span("lex.relex"):
+        result = _relex(
+            spec, old_tokens, new_text, edit_offset, removed_len, inserted_len
+        )
+        obs.incr("lex.relexes")
+        obs.incr("lex.tokens_rescanned", result.scanned)
+        obs.incr(
+            "lex.tokens_reused",
+            len(result.tokens) - (result.changed_end - result.changed_start),
+        )
+        obs.incr("lex.tokens_examined", result.examined)
+        return result
+
+
+def _relex(
+    spec: LexerSpec,
+    old_tokens: list[Token],
+    new_text: str,
+    edit_offset: int,
+    removed_len: int,
+    inserted_len: int,
+) -> RelexResult:
     if not old_tokens:
         tokens = spec.lex(new_text)
         return RelexResult(tokens, 0, len(tokens), scanned=len(tokens))
 
-    old_offsets = token_offsets(old_tokens)
     delta = inserted_len - removed_len
     edit_old_end = edit_offset + removed_len
+    examined = 0
 
-    # -- restart point: walk left over every token whose read window
-    #    touches the edit.
-    start_idx = bisect_right(old_offsets, edit_offset) - 1
-    if start_idx < 0:
-        start_idx = 0
+    # -- restart point: walk forward to the last token starting at or
+    #    before the edit, accumulating start offsets as we go.  Bounded by
+    #    the edit position, never by the document length.
+    prefix_offsets = [0]
+    start_idx = 0
+    while (
+        start_idx + 1 < len(old_tokens)
+        and prefix_offsets[start_idx] + old_tokens[start_idx].width
+        <= edit_offset
+    ):
+        prefix_offsets.append(
+            prefix_offsets[start_idx] + old_tokens[start_idx].width
+        )
+        start_idx += 1
+        examined += 1
+    # ...then left over every token whose read window touches the edit.
     while start_idx > 0:
         prev = old_tokens[start_idx - 1]
-        read_end = old_offsets[start_idx - 1] + prev.width + prev.lookahead
+        read_end = prefix_offsets[start_idx - 1] + prev.width + prev.lookahead
         if read_end > edit_offset:
             start_idx -= 1
         else:
             break
 
-    # -- resync candidates: old token starts strictly past the edit.
-    resync: dict[int, int] = {}
-    for j in range(start_idx + 1, len(old_tokens)):
-        if old_offsets[j] >= edit_old_end:
-            resync[old_offsets[j] + delta] = j
+    # -- resync cursor: advances monotonically over old tokens strictly
+    #    past the restart point, tracking their start offsets on demand.
+    cursor = start_idx + 1
+    cursor_off = prefix_offsets[start_idx] + old_tokens[start_idx].width
 
     # -- rescan.
     middle: list[Token] = []
-    pos = old_offsets[start_idx]
+    pos = prefix_offsets[start_idx]
     tail_idx: int | None = None
     while True:
-        j = resync.get(pos)
-        if j is not None and middle:
-            tail_idx = j
+        target = pos - delta  # old coordinate of the current position
+        while cursor < len(old_tokens) and cursor_off < target:
+            cursor_off += old_tokens[cursor].width
+            cursor += 1
+            examined += 1
+        if (
+            middle
+            and cursor < len(old_tokens)
+            and cursor_off == target
+            and cursor_off >= edit_old_end
+        ):
+            tail_idx = cursor
             break
         tok = spec.next_token(new_text, pos)
         if tok is None:
@@ -141,4 +195,6 @@ def relex(
         for tok in old_tokens[start_idx : tail_idx if tail_idx is not None else len(old_tokens)]
         if id(tok) not in kept
     ]
-    return RelexResult(tokens, changed_start, changed_end, removed, scanned)
+    return RelexResult(
+        tokens, changed_start, changed_end, removed, scanned, examined
+    )

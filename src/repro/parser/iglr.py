@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..dag.journal import touch
 from ..dag.nodes import NO_STATE, Node, ProductionNode, SymbolNode, TerminalNode
 from ..grammar.cfg import Production
@@ -58,6 +59,30 @@ class ParseStats:
     breakdowns: int = 0
     rounds: int = 0
     parser_splits: int = 0
+    gss_merges: int = 0
+    multistate_nodes: int = 0
+
+
+def _flush_stats(kind: str, stats: ParseStats) -> None:
+    """Mirror one parse's work counters into the observability registry.
+
+    Counters accumulate per event elsewhere; parse work is flushed in
+    bulk from the existing :class:`ParseStats` at the end of a parse so
+    the hot parsing loops stay untouched.
+    """
+    if not obs.enabled():
+        return
+    obs.incr(f"{kind}.parses")
+    obs.incr("parse.shifts", stats.shifts)
+    obs.incr("parse.subtrees_reused", stats.subtree_shifts)
+    obs.incr("parse.subtrees_decomposed", stats.breakdowns)
+    obs.incr("parse.reductions", stats.reductions)
+    obs.incr("parse.nodes_created", stats.nodes_created)
+    obs.incr("parse.nodes_reused", stats.nodes_reused)
+    obs.incr("parse.rounds", stats.rounds)
+    obs.incr("gss.forks", stats.parser_splits)
+    obs.incr("gss.merges", stats.gss_merges)
+    obs.incr("parse.multistate_nodes", stats.multistate_nodes)
 
 
 @dataclass
@@ -109,8 +134,11 @@ class IGLRParser:
         Raises :class:`ParseError` when no parser can shift the lookahead;
         the caller (the document layer) implements recovery.
         """
-        run = _ParseRun(self, stream)
-        return run.execute()
+        with obs.span("parse.iglr"):
+            run = _ParseRun(self, stream)
+            result = run.execute()
+            _flush_stats("parse.iglr", result.stats)
+            return result
 
     def parse_tolerant(self, terminals: list[TerminalNode]) -> ParseResult:
         """Batch parse with panic-mode error isolation (section 4.3).
@@ -329,6 +357,7 @@ class _ParseRun:
                 link = GssLink(tail, labelled)
                 self._link_uses.setdefault(id(labelled), []).append(link)
                 existing.add_link(link)
+                self.stats.gss_merges += 1
                 # Parsers already processed this round may have further
                 # reductions that cross the new link (Appendix A).
                 pending = set(map(id, self.for_actor))
@@ -376,6 +405,8 @@ class _ParseRun:
             if found is not None:
                 return found
         state = NO_STATE if self.multiple_states else preceding_state
+        if self.multiple_states:
+            self.stats.multistate_nodes += 1
         if self.parser.reuse_nodes and kids:
             pooled = self.stream.reuse_pool.get(
                 (production.index, tuple(map(id, kids)))
@@ -513,10 +544,13 @@ class _ParseRun:
                 link = GssLink(parser, la)
                 if existing is not None:
                     existing.add_link(link)
+                    self.stats.gss_merges += 1
                 else:
                     self.active.append(GssNode(target, link))
             touch(la)
             la.state = self.for_shifter[0][0].state if single else NO_STATE
+            if not single:
+                self.stats.multistate_nodes += 1
             self.stats.shifts += 1
             if self.tracer is not None:
                 self.tracer.shift(

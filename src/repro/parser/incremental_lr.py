@@ -21,11 +21,12 @@ from __future__ import annotations
 
 from typing import Literal
 
+from .. import obs
 from ..dag.journal import touch
 from ..dag.nodes import NO_STATE, Node, ProductionNode
 from ..tables.parse_table import ACCEPT, REDUCE, SHIFT, ParseTable
 from .input_stream import InputStream
-from .iglr import ParseError, ParseResult, ParseStats
+from .iglr import ParseError, ParseResult, ParseStats, _flush_stats
 
 
 class IncrementalLRParser:
@@ -71,6 +72,12 @@ class IncrementalLRParser:
         )
 
     def parse(self, stream: InputStream) -> ParseResult:
+        with obs.span("parse.lr", mode=self.mode):
+            result = self._parse(stream)
+            _flush_stats("parse.lr", result.stats)
+            return result
+
+    def _parse(self, stream: InputStream) -> ParseResult:
         stats = ParseStats()
         new_nodes: list[Node] = []
         self._stream_pool = stream.reuse_pool  # node retention, paper [25]

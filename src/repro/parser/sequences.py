@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..dag.journal import touch
 from ..dag.nodes import ErrorNode, Node, ProductionNode, TerminalNode
 from ..dag.sequences import SequenceNode, SequencePart, parts_created
@@ -205,6 +206,17 @@ def attempt_sequence_repair(document) -> RepairOutcome | None:
     tail, fragment reparse failure, or guard-element mismatch); the
     caller then runs the ordinary incremental parse.
     """
+    with obs.span("parse.seq_repair"):
+        outcome = _attempt_sequence_repair(document)
+        if outcome is None:
+            obs.incr("seq.repair_fallbacks")
+        else:
+            obs.incr("seq.repairs")
+            obs.incr("seq.items_replaced", outcome.items_replaced)
+        return outcome
+
+
+def _attempt_sequence_repair(document) -> RepairOutcome | None:
     doc = document
     if doc.tree is None:
         return None

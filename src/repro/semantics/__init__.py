@@ -5,6 +5,7 @@ from .attributes import AttributeEvaluator, standard_evaluator
 from .filters import (
     accept,
     apply_syntactic_filters,
+    clear,
     is_rejected,
     prefer_tagged,
     production_tags,
@@ -27,6 +28,7 @@ __all__ = [
     "TypedefAnalyzer",
     "accept",
     "apply_syntactic_filters",
+    "clear",
     "is_rejected",
     "prefer_tagged",
     "production_tags",

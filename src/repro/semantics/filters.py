@@ -31,8 +31,30 @@ def reject(alternative: Node, reason: str = "") -> None:
 
 
 def accept(alternative: Node) -> None:
-    """Clear a previous semantic rejection (decision reversed by edits)."""
+    """Clear a previous semantic rejection (decision reversed by edits).
+
+    An accepted alternative's rejection reason is meaningless, so it is
+    dropped along with the flag: only currently-rejected interpretations
+    carry a ``filter_reason``.
+    """
     alternative.set_annotation(FILTERED, False)
+    if alternative.annotations is not None:
+        alternative.annotations.pop(FILTER_REASON, None)
+
+
+def clear(alternative: Node) -> None:
+    """Remove all filter state, as if the alternative was never filtered.
+
+    Unlike :func:`accept` (which records an explicit ``filtered=False``
+    decision), ``clear`` removes both annotations outright; a cleared
+    alternative is indistinguishable from one no filter ever touched.
+    """
+    if alternative.annotations is None:
+        return
+    alternative.annotations.pop(FILTERED, None)
+    alternative.annotations.pop(FILTER_REASON, None)
+    if not alternative.annotations:
+        alternative.annotations = None
 
 
 def is_rejected(alternative: Node) -> bool:
@@ -40,9 +62,16 @@ def is_rejected(alternative: Node) -> bool:
 
 
 def reset_choice(choice: SymbolNode) -> None:
-    """Forget all semantic decisions at a choice point."""
+    """Forget all semantic decisions at a choice point.
+
+    Uses :func:`clear`, not :func:`accept`: "forget" means no residue --
+    neither the flag nor a stale ``filter_reason`` may survive, so a
+    reset choice point is byte-identical to a never-filtered one
+    (paper section 4.2: decisions are reversible, rejected alternatives
+    are retained but their rejection is not history).
+    """
     for alternative in choice.alternatives:
-        accept(alternative)
+        clear(alternative)
 
 
 def semantic_select(

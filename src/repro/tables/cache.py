@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Literal
 
+from .. import obs
 from ..grammar.cfg import Grammar
 from .parse_table import ParseTable
 
@@ -191,6 +192,7 @@ def _disk_store(key: str, table: ParseTable) -> None:
                 pass
             raise
         _stats.stores += 1
+        obs.incr("cache.stores")
     except Exception:
         # A read-only or full cache directory must never break parsing.
         _stats.disk_errors += 1
@@ -217,15 +219,19 @@ def build_table(
     table = _memory.get(key)
     if table is not None:
         _stats.memory_hits += 1
+        obs.incr("cache.memory_hits")
         return table
     table = _disk_load(key)
     if table is not None:
         _stats.disk_hits += 1
+        obs.incr("cache.disk_hits")
     else:
         _stats.misses += 1
-        table = ParseTable(
-            grammar, method=method, resolve_precedence=resolve_precedence
-        )
+        obs.incr("cache.misses")
+        with obs.span("tables.build", method=method):
+            table = ParseTable(
+                grammar, method=method, resolve_precedence=resolve_precedence
+            )
         _disk_store(key, table)
     _memory[key] = table
     if label:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..dag.journal import touch
 from ..dag.nodes import ErrorNode, Node, ProductionNode, TerminalNode
 from ..dag.traversal import choice_points, error_regions, unparse
@@ -147,6 +148,7 @@ class Document:
         """
         if offset < 0 or offset + removed_len > len(self.text):
             raise ValueError("edit range outside document")
+        obs.incr("doc.edits")
         removed_text = self.text[offset : offset + removed_len]
         self._edit_log.append(Edit(offset, removed_text, inserted))
         self._apply_edit(offset, removed_len, inserted)
@@ -204,6 +206,11 @@ class Document:
         injected into the commit pipeline -- leaves the document exactly
         as it was on entry.
         """
+        with obs.span("doc.parse", version=self.version):
+            obs.incr("doc.parses")
+            return self._parse_transactional(recover)
+
+    def _parse_transactional(self, recover: bool) -> AnalysisReport:
         txn = begin_transaction(self, self.transaction_mode)
         try:
             try:
@@ -302,6 +309,11 @@ class Document:
         )
 
     def _commit(self, result: ParseResult) -> None:
+        with obs.span("doc.commit"):
+            obs.incr("doc.commits")
+            self._commit_inner(result)
+
+    def _commit_inner(self, result: ParseResult) -> None:
         crash_point("commit:start")
         for node in result.new_nodes:
             if isinstance(node, (ProductionNode, ErrorNode)):

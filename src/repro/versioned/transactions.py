@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 
+from .. import obs
 from ..dag.journal import MutationJournal, activate, deactivate
 from ..dag.nodes import Node
 
@@ -187,6 +188,11 @@ class SnapshotTransaction(Transaction):
 
     def __init__(self, document) -> None:
         self._snapshot = DocumentSnapshot(document)
+        n = len(self._snapshot.records)
+        obs.incr("txn.snapshot_records", n)
+        # Space model matches repro.obs.space: five words per captured
+        # record (node ref, state, parent, n_terms, structure).
+        obs.incr("txn.snapshot_bytes", n * 5 * 8)
 
     @property
     def node_records(self) -> int:

@@ -171,6 +171,52 @@ def _leaf_texts(node):
     return [t.token.text for t in node.iter_terminals()]
 
 
+def _check_depth_invariant(node):
+    """Every part must satisfy the module's own rebalance bound."""
+    if not isinstance(node, SequencePart):
+        return
+    size = max(node.n_items, 2)
+    bound = size.bit_length() * 2 + 4  # mirrors sequences._needs_rebuild
+    assert node.depth <= bound, (
+        f"part with {node.n_items} items has depth {node.depth} > {bound}"
+    )
+    for kid in node.kids:
+        _check_depth_invariant(kid)
+
+
+@given(st.integers(2, 64), st.data())
+@settings(max_examples=60, deadline=None)
+def test_depth_invariant_survives_random_splices(n, data):
+    """Property: no splice sequence can leave an over-deep part behind.
+
+    Exercises the _split direct-return paths (splice boundaries landing
+    exactly on subtree edges), which previously skipped rebalancing and
+    let repeated edits accumulate skew.
+    """
+    seq = seq_of(n)
+    for step in range(8):
+        start = data.draw(st.integers(0, seq.n_items))
+        end = data.draw(st.integers(start, seq.n_items))
+        count = data.draw(st.integers(0, 4))
+        seq.replace_items(
+            start, end, [term(f"s{step}i{k}") for k in range(count)]
+        )
+        for kid in seq.kids:
+            _check_depth_invariant(kid)
+
+
+def test_edge_aligned_splices_keep_depth_bounded():
+    # Deterministic regression for the _split direct-return bug: always
+    # splice at position 0 so one half of every split is returned
+    # as-is.  Without rebalancing those halves, depth grows linearly.
+    seq = seq_of(64)
+    for i in range(300):
+        seq.replace_items(0, 1, [term(f"r{i}"), term(f"q{i}")])
+        seq.replace_items(0, 2, [term(f"p{i}")])
+    for kid in seq.kids:
+        _check_depth_invariant(kid)
+
+
 @given(
     st.integers(2, 40),
     st.data(),

@@ -99,6 +99,27 @@ class TestRelexCorrectness:
         res = relex(SPEC, old, new_text, 5, 1, "9".__len__())
         assert res.scanned <= 6
 
+    def test_examined_tokens_independent_of_document_size(self):
+        # Counter-verified O(edit) bound: the same edit at a fixed offset
+        # must examine the same number of old tokens no matter how much
+        # document follows it.  The former implementation materialized a
+        # resync offset map over the entire tail (O(N) per edit), which
+        # this test rejects by construction -- not by wall clock.
+        examined = []
+        scanned = []
+        for n in (50, 200, 800):
+            text = "; ".join(f"v{i} = {i}" for i in range(n)) + ";"
+            old = SPEC.lex(text)
+            new_text = apply_edit(text, 5, 1, "9")
+            res = relex(SPEC, old, new_text, 5, 1, 1)
+            assert stream_text(res.tokens) == new_text
+            examined.append(res.examined)
+            scanned.append(res.scanned)
+        assert examined[0] == examined[1] == examined[2], examined
+        assert examined[0] <= 8
+        assert scanned[0] == scanned[1] == scanned[2], scanned
+        assert scanned[0] <= 6
+
     def test_whitespace_only_edit_keeps_types(self):
         old, new_text, res = do_relex("a = 1;", 1, 0, "   ")
         assert [t.type for t in res.tokens] == [t.type for t in old]

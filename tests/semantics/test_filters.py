@@ -8,6 +8,7 @@ from repro.lexing import Token
 from repro.semantics import (
     accept,
     apply_syntactic_filters,
+    clear,
     is_rejected,
     prefer_tagged,
     production_tags,
@@ -54,6 +55,42 @@ class TestRejectAccept:
         reject(c.alternatives[0])
         reset_choice(c)
         assert not any(is_rejected(a) for a in c.alternatives)
+
+    def test_accept_drops_stale_reason(self):
+        a = alt("S", "x", term("t"))
+        reject(a, "stale")
+        accept(a)
+        assert a.get_annotation("filter_reason") is None
+
+    def test_clear_removes_all_filter_state(self):
+        a = alt("S", "x", term("t"))
+        reject(a, "because")
+        clear(a)
+        assert not is_rejected(a)
+        assert a.annotations is None
+
+    def test_clear_preserves_unrelated_annotations(self):
+        a = alt("S", "x", term("t"))
+        a.set_annotation("other", 7)
+        reject(a, "because")
+        clear(a)
+        assert a.annotations == {"other": 7}
+
+    def test_clear_on_untouched_node_is_noop(self):
+        a = alt("S", "x", term("t"))
+        clear(a)
+        assert a.annotations is None
+
+    def test_reset_choice_leaves_no_residue(self):
+        # A reset choice point must be indistinguishable from one no
+        # filter ever touched -- reset_choice formerly used accept(),
+        # which left filtered=False plus a stale filter_reason behind.
+        c = choice_of(alt("S", "p", term("t")), alt("S", "q", term("t")))
+        reject(c.alternatives[0], "wrong precedence")
+        reject(c.alternatives[1], "wrong associativity")
+        reset_choice(c)
+        for a in c.alternatives:
+            assert a.annotations is None
 
 
 class TestSemanticSelect:
