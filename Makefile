@@ -6,16 +6,21 @@
 #   make bench       - reproduction benchmarks (writes benchmarks/results/)
 #   make bench-smoke - quick perf-regression gate: writes
 #                      BENCH_incremental.json and fails if per-edit
-#                      incremental time exceeds batch reparse time, or if
+#                      incremental time exceeds batch reparse time, if
 #                      disabled-observability overhead exceeds 3% of
-#                      per-edit latency
+#                      per-edit latency, or if the analysis service
+#                      cannot hold 8 concurrent sessions with p95 edit
+#                      latency under the batch-reparse baseline
+#   make serve-smoke - end-to-end analysis-service check: drives a
+#                      scripted session through `repro serve` over stdio
+#                      (examples/service_session.py)
 #   make trace-demo  - sample observability run: writes a JSON-lines span
 #                      trace of an example edit session to
 #                      benchmarks/results/TRACE_demo.jsonl
 
 PY = PYTHONPATH=src python
 
-.PHONY: test smoke bench bench-smoke trace-demo
+.PHONY: test smoke bench bench-smoke serve-smoke trace-demo
 
 test:
 	$(PY) -m pytest -q
@@ -31,6 +36,11 @@ bench-smoke:
 		--out benchmarks/results/BENCH_incremental.json
 	$(PY) -m repro.bench.obs_overhead --check \
 		--out benchmarks/results/BENCH_obs_overhead.json
+	$(PY) -m repro.bench.service --smoke --check \
+		--out benchmarks/results/BENCH_service.json
+
+serve-smoke:
+	$(PY) examples/service_session.py
 
 trace-demo:
 	REPRO_TRACE=benchmarks/results/TRACE_demo.jsonl $(PY) -m repro \

@@ -21,10 +21,28 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(autouse=True)
+def _collect_work_counters():
+    """Run every benchmark under `repro.obs` counter collection.
+
+    The counters are read by ``report_sink`` at write time, so each
+    figure's JSON sidecar records the work (reuse, rescans, journal
+    traffic...) that produced its numbers.
+    """
+    from repro import obs
+
+    with obs.collecting():
+        yield
+
+
 @pytest.fixture(scope="session")
 def report_sink(results_dir):
+    from repro import obs
+    from repro.bench.reporting import write_artifact
+
     def write(name: str, text: str) -> None:
-        (results_dir / f"{name}.txt").write_text(text + "\n")
+        counters = obs.counters() if obs.enabled() else {}
+        write_artifact(results_dir, name, text, counters)
         print("\n" + text)
 
     return write

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""A minimal client for the analysis service, used by ``make serve-smoke``.
+
+Spawns ``repro serve`` as a subprocess, drives one editing session over
+the stdio JSON-lines protocol -- open, a coalescable burst of deferred
+edits, a query, stats, close, shutdown -- and checks every reply.  The
+same request/reply flow works over TCP (``repro serve --tcp :9178``);
+only the transport differs.
+
+Run directly:  PYTHONPATH=src python examples/service_session.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def main() -> int:
+    requests = [
+        {"op": "ping", "id": "hello"},
+        {"op": "open", "id": "open", "doc": "demo.calc",
+         "language": "calc", "text": "total = 12; rate = 3;"},
+        # A typing burst: "12" retyped as "1250", keystroke by
+        # keystroke.  The deferred edits are held open and coalesced
+        # with the final one -- one reply version, one parse, for all
+        # three requests.
+        {"op": "edit", "id": "key1", "doc": "demo.calc", "defer": True,
+         "edits": [{"at": 8, "remove": 2, "insert": "1"}]},
+        {"op": "edit", "id": "key2", "doc": "demo.calc", "defer": True,
+         "edits": [{"at": 9, "remove": 0, "insert": "2"}]},
+        {"op": "edit", "id": "key3", "doc": "demo.calc",
+         "edits": [{"at": 10, "remove": 0, "insert": "50"}],
+         "echo_text": True},
+        {"op": "query", "id": "q", "doc": "demo.calc"},
+        {"op": "stats", "id": "stats"},
+        {"op": "close", "id": "bye", "doc": "demo.calc"},
+        {"op": "shutdown", "id": "down"},
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve"],
+        input="".join(json.dumps(r) + "\n" for r in requests),
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    if proc.returncode != 0:
+        print(proc.stderr, file=sys.stderr)
+        print(f"FAIL: repro serve exited {proc.returncode}", file=sys.stderr)
+        return 1
+
+    replies = {}
+    for line in proc.stdout.splitlines():
+        reply = json.loads(line)
+        replies[reply["id"]] = reply
+        print(f"<- {line}")
+
+    def expect(rid: str, **fields) -> dict:
+        reply = replies.get(rid)
+        assert reply is not None, f"no reply for {rid!r}"
+        assert reply["ok"], f"{rid!r} failed: {reply}"
+        for key, value in fields.items():
+            assert reply.get(key) == value, (rid, key, reply)
+        return reply
+
+    expect("hello", pong=True)
+    expect("open")
+    burst = expect("key3", text="total = 1250; rate = 3;")
+    # All three keystrokes were answered by the same flush.
+    assert expect("key1")["version"] == burst["version"]
+    assert expect("key2")["version"] == burst["version"]
+    assert burst["batched"] == 3 and burst["applied"] == 1
+    expect("q", has_errors=False)
+    stats = expect("stats")["stats"]
+    assert stats["counters"]["edits_received"] == 3
+    assert stats["counters"]["parses"] == 1
+    expect("bye", closed="demo.calc")
+    expect("down", stopping=True)
+    print(
+        "OK: burst of 3 keystrokes coalesced into "
+        f"{burst['applied']} edit, 1 incremental parse "
+        f"(version {burst['version']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

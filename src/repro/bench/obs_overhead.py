@@ -121,6 +121,14 @@ def run(repeat: int = 3) -> dict:
 
     overhead = incr_per_edit * incr_cost + span_per_edit * span_cost
     fraction = overhead / per_edit if per_edit > 0 else 0.0
+
+    # The work counters behind one timed edit cycle, so this artifact
+    # is self-describing like every other bench result.
+    with obs.collecting() as work:
+        for edit in edits:
+            apply_and_cancel(doc, edit)
+    cycle_counters = {k: v for k, v in sorted(work.items()) if v}
+
     return {
         "benchmark": "obs_overhead",
         "workload": {"language": "calc", "size": SIZE, "n_edits": N_EDITS},
@@ -129,6 +137,7 @@ def run(repeat: int = 3) -> dict:
         "per_edit_seconds": per_edit,
         "overhead_seconds_per_edit": overhead,
         "overhead_fraction": fraction,
+        "cycle_counters": cycle_counters,
     }
 
 

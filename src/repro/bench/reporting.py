@@ -2,12 +2,18 @@
 
 Each benchmark prints the rows/series the paper reports, in a format
 close to the original table or figure, so EXPERIMENTS.md can be filled
-in by reading the benchmark logs.
+in by reading the benchmark logs.  :func:`write_artifact` is the one
+way figures land on disk: the rendered text plus a JSON sidecar
+carrying the `repro.obs` work counters that produced the numbers, so
+every timing figure can be read next to the reuse/rescan work behind
+it.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import json
+import pathlib
+from typing import Mapping, Sequence
 
 
 def render_table(
@@ -43,6 +49,31 @@ def render_histogram(
         bar = "#" * max(1 if count else 0, round(count / peak * width))
         lines.append(f"{label.rjust(label_width)} | {bar} {count}")
     return "\n".join(lines)
+
+
+def write_artifact(
+    directory: pathlib.Path | str,
+    name: str,
+    text: str,
+    counters: Mapping[str, int] | None = None,
+) -> None:
+    """Write ``<name>.txt`` (the rendered figure) + ``<name>.json``.
+
+    The sidecar records the work counters active when the figure was
+    rendered (empty when observability was off) so artifacts are
+    self-describing: a regression in a timing number can be checked
+    against the work that produced it without rerunning anything.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(exist_ok=True)
+    (directory / f"{name}.txt").write_text(text + "\n")
+    sidecar = {
+        "artifact": name,
+        "cycle_counters": dict(sorted((counters or {}).items())),
+    }
+    (directory / f"{name}.json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def _fmt(cell: object) -> str:

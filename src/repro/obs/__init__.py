@@ -44,9 +44,12 @@ from .core import (
     dropped_records,
     enabled,
     flush,
+    gauge,
+    gauges,
     incr,
     records,
     reset,
+    set_gauge,
     span,
     span_summary,
 )
@@ -63,9 +66,12 @@ __all__ = [
     "dropped_records",
     "enabled",
     "flush",
+    "gauge",
+    "gauges",
     "incr",
     "records",
     "reset",
+    "set_gauge",
     "span",
     "span_summary",
 ]

@@ -38,6 +38,7 @@ MAX_RECORDS = 100_000
 
 _enabled = False
 _counters: dict[str, int] = {}
+_gauges: dict[str, float] = {}
 _records: list["SpanRecord"] = []
 _span_stack: list["_Span"] = []
 _exporters: list[Callable[["SpanRecord"], None]] = []
@@ -68,6 +69,31 @@ def counter(name: str) -> int:
 def counters() -> dict[str, int]:
     """Snapshot of the whole counter registry."""
     return dict(_counters)
+
+
+# -- gauges -------------------------------------------------------------------
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Record the current level of a fluctuating quantity.
+
+    Unlike counters (monotonic work totals), gauges hold the *latest*
+    observed value -- queue depths, resident-node totals, live session
+    counts.  Spans do not diff them.  No-op while disabled.
+    """
+    if not _enabled:
+        return
+    _gauges[name] = value
+
+
+def gauge(name: str) -> float:
+    """Current value of one gauge (0 if never set)."""
+    return _gauges.get(name, 0)
+
+
+def gauges() -> dict[str, float]:
+    """Snapshot of the whole gauge registry."""
+    return dict(_gauges)
 
 
 # -- spans --------------------------------------------------------------------
@@ -295,6 +321,7 @@ def reset() -> None:
     """Zero counters and the span registry; keep enabled state/exporters."""
     global _dropped, _export_errors
     _counters.clear()
+    _gauges.clear()
     _records.clear()
     _span_stack.clear()
     _dropped = 0
@@ -314,10 +341,12 @@ def collecting() -> Iterator[dict[str, int]]:
             document.parse()
         rescans = work.get("lex.tokens_rescanned", 0)
     """
-    global _enabled, _counters, _records, _span_stack, _dropped, _export_errors
+    global _enabled, _counters, _gauges, _records, _span_stack
+    global _dropped, _export_errors
     saved = (
         _enabled,
         _counters,
+        _gauges,
         _records,
         _span_stack,
         list(_exporters),
@@ -326,6 +355,7 @@ def collecting() -> Iterator[dict[str, int]]:
     )
     _enabled = True
     _counters = {}
+    _gauges = {}
     _records = []
     _span_stack = []
     _exporters.clear()
@@ -337,6 +367,7 @@ def collecting() -> Iterator[dict[str, int]]:
         (
             _enabled,
             _counters,
+            _gauges,
             _records,
             _span_stack,
             restored_exporters,

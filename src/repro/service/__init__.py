@@ -1,0 +1,57 @@
+"""repro.service: a long-lived multi-document analysis service.
+
+The library layers below this package analyze *one* document from a
+*one-shot* entry point.  This package turns them into the interactive
+editing environment the paper targets (section 1): an asyncio service
+that keeps a pool of live :class:`~repro.versioned.document.Document`
+sessions open behind a JSON-lines protocol, so each editor keystroke
+pays the *incremental* cost -- bounded by the change, not the file --
+across arbitrarily many concurrent documents.
+
+Layering:
+
+* :mod:`repro.service.protocol` -- the wire format: request/reply
+  shapes, error codes, edit specs and their coalescing algebra;
+* :mod:`repro.service.session` -- one open document: a single-writer
+  worker behind a bounded queue, edit batching/coalescing, and the
+  graceful-degradation ladder (incremental parse -> batch rebuild ->
+  structured error) that keeps a poisoned session recoverable;
+* :mod:`repro.service.manager` -- the session pool: LRU eviction of
+  idle sessions, a cap on total resident DAG nodes;
+* :mod:`repro.service.server` -- transports (stdio and TCP), request
+  dispatch, per-request timeouts, the ``repro serve`` entry point.
+
+Everything observable is exported through :mod:`repro.obs`
+(``service.*`` counters and gauges, ``service.batch`` spans) and
+surfaced by the protocol's ``stats`` request.  The conformance story is
+differential: `tests/service/test_service_differential.py` proves that
+replies after batched/coalesced edits are byte-identical to driving a
+``Document`` directly.
+"""
+
+from .manager import CapacityError, SessionManager
+from .protocol import (
+    EditSpec,
+    ProtocolError,
+    coalesce_specs,
+    decode_line,
+    encode,
+    error_reply,
+    ok_reply,
+)
+from .server import AnalysisService
+from .session import Session
+
+__all__ = [
+    "AnalysisService",
+    "CapacityError",
+    "EditSpec",
+    "ProtocolError",
+    "Session",
+    "SessionManager",
+    "coalesce_specs",
+    "decode_line",
+    "encode",
+    "error_reply",
+    "ok_reply",
+]

@@ -1,0 +1,199 @@
+"""The session pool: bounded residency with LRU eviction.
+
+Two independent caps keep a long-lived server's memory bounded:
+
+* ``max_sessions`` -- how many documents may be open at once.  Opening
+  one more evicts the least-recently-used *idle* session (no queued or
+  in-flight work); if every session is busy the open is refused with a
+  ``capacity`` error instead of blocking.
+* ``max_resident_nodes`` -- total committed-DAG nodes across all
+  sessions (each session's count is memoized per document version, so
+  the accounting is O(changed trees), not O(pool)).  Checked after
+  every flush; excess evicts idle LRU sessions until the pool fits or
+  nothing more is evictable.
+
+Eviction is *stateless recovery* by design: an evicted session simply
+disappears, and a client that still references it gets ``no-session``
+and re-opens with its own buffer -- the authoritative text always lives
+client-side (see `repro.service.session`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .. import obs
+from ..language import Language
+from ..langs import get_language
+from .session import Session
+
+
+class CapacityError(RuntimeError):
+    """The pool is full and nothing is idle enough to evict."""
+
+
+class SessionManager:
+    """Owns every open :class:`~repro.service.session.Session`."""
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int = 32,
+        max_resident_nodes: int = 2_000_000,
+        queue_limit: int = 64,
+        debounce: float = 0.0,
+        default_engine: str = "iglr",
+    ) -> None:
+        self.max_sessions = max_sessions
+        self.max_resident_nodes = max_resident_nodes
+        self.queue_limit = queue_limit
+        self.debounce = debounce
+        self.default_engine = default_engine
+        # Insertion order == recency order: move_to_end on every touch.
+        self._sessions: "OrderedDict[str, Session]" = OrderedDict()
+        self.counts = {"opened": 0, "closed": 0, "evictions": 0}
+        # Work counters of sessions that already closed or were evicted,
+        # so stats() totals cover the pool's whole lifetime.
+        self._retired: dict[str, int] = {}
+
+    # -- lookup ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sessions
+
+    def get(self, name: str) -> Session:
+        """The named session, marked most-recently-used."""
+        session = self._sessions[name]
+        self._sessions.move_to_end(name)
+        return session
+
+    def names(self) -> list[str]:
+        return list(self._sessions)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def open(
+        self,
+        name: str,
+        *,
+        language: str | None = None,
+        grammar: str | None = None,
+        engine: str | None = None,
+        balanced: bool = True,
+    ) -> Session:
+        """Create a session (evicting an idle one if the pool is full).
+
+        ``language`` names a built-in (``calc``, ``minic``, ...);
+        ``grammar`` is an inline grammar-DSL source for ad-hoc
+        languages.  Exactly one must be given.
+        """
+        if name in self._sessions:
+            raise KeyError(f"session {name!r} already open")
+        if (language is None) == (grammar is None):
+            raise ValueError("specify exactly one of language/grammar")
+        lang = (
+            get_language(language)
+            if language is not None
+            else Language.from_dsl(grammar)
+        )
+        while len(self._sessions) >= self.max_sessions:
+            if not self._evict_one():
+                raise CapacityError(
+                    f"{len(self._sessions)} sessions open, none idle"
+                )
+        session = Session(
+            name,
+            lang,
+            engine=engine or self.default_engine,
+            balanced=balanced,
+            queue_limit=self.queue_limit,
+            debounce=self.debounce,
+            on_flush=self._after_flush,
+        )
+        session.language_label = language or "<inline>"
+        self._sessions[name] = session
+        self.counts["opened"] += 1
+        obs.incr("service.sessions_opened")
+        obs.set_gauge("service.sessions", len(self._sessions))
+        return session
+
+    def close(self, name: str) -> None:
+        """Forget a session the client closed (worker already stopped)."""
+        session = self._sessions.pop(name, None)
+        if session is not None:
+            self._retire(session)
+            self.counts["closed"] += 1
+            obs.set_gauge("service.sessions", len(self._sessions))
+
+    def close_all(self) -> None:
+        for session in list(self._sessions.values()):
+            session.shut_down()
+            self._retire(session)
+        self._sessions.clear()
+        obs.set_gauge("service.sessions", 0)
+
+    def _retire(self, session: Session) -> None:
+        for key, value in session.counts.items():
+            self._retired[key] = self._retired.get(key, 0) + value
+
+    # -- eviction -------------------------------------------------------------
+
+    def _evict_one(self, exclude: Session | None = None) -> bool:
+        """Drop the least-recently-used idle session; False if none."""
+        for name, session in self._sessions.items():
+            if session is exclude or not session.idle:
+                continue
+            session.shut_down()
+            self._retire(session)
+            del self._sessions[name]
+            self.counts["evictions"] += 1
+            obs.incr("service.evictions")
+            obs.set_gauge("service.sessions", len(self._sessions))
+            return True
+        return False
+
+    def resident_nodes(self) -> int:
+        return sum(s.resident_nodes() for s in self._sessions.values())
+
+    def _after_flush(self, session: Session) -> None:
+        """Resident-size check, run by each worker after it commits."""
+        total = self.resident_nodes()
+        obs.set_gauge("service.resident_nodes", total)
+        while total > self.max_resident_nodes:
+            if not self._evict_one(exclude=session):
+                break
+            total = self.resident_nodes()
+            obs.set_gauge("service.resident_nodes", total)
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        sessions = {
+            name: session.describe()
+            for name, session in self._sessions.items()
+        }
+        totals = dict(self.counts)
+        for key, value in self._retired.items():
+            totals[key] = totals.get(key, 0) + value
+        for session in self._sessions.values():
+            for key, value in session.counts.items():
+                totals[key] = totals.get(key, 0) + value
+        received = totals.get("edits_received", 0)
+        applied = totals.get("edits_applied", 0)
+        return {
+            "sessions": sessions,
+            "limits": {
+                "max_sessions": self.max_sessions,
+                "max_resident_nodes": self.max_resident_nodes,
+                "queue_limit": self.queue_limit,
+                "debounce_seconds": self.debounce,
+            },
+            "resident_nodes": self.resident_nodes(),
+            "counters": totals,
+            "coalesce_ratio": (received / applied) if applied else None,
+            "obs_counters": obs.counters() if obs.enabled() else {},
+            "obs_gauges": obs.gauges() if obs.enabled() else {},
+        }

@@ -1,0 +1,174 @@
+"""Wire protocol for the analysis service: JSON lines, both directions.
+
+Every request and reply is one JSON object on one line.  Requests carry
+``op`` (the verb), usually ``doc`` (the session name), and optionally
+``id`` -- an opaque client token echoed verbatim in the matching reply
+so clients can pipeline requests and match replies out of order.
+
+Requests::
+
+    {"op": "open",  "id": 1, "doc": "a.calc", "language": "calc",
+     "text": "x = 1;"}
+    {"op": "edit",  "id": 2, "doc": "a.calc",
+     "edits": [{"at": 4, "remove": 1, "insert": "9"}],
+     "defer": false, "echo_text": true}
+    {"op": "parse", "id": 3, "doc": "a.calc"}
+    {"op": "query", "id": 4, "doc": "a.calc"}
+    {"op": "close", "id": 5, "doc": "a.calc"}
+    {"op": "stats", "id": 6}
+    {"op": "ping",  "id": 7}
+    {"op": "shutdown", "id": 8}
+
+Replies are ``{"id": ..., "ok": true, ...fields}`` or
+``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``.
+Error codes are the :data:`E_*` constants below; ``backpressure`` and
+``timeout`` are *flow-control* replies, not failures -- the session is
+healthy and the client should retry (``backpressure``) or expect the
+work to land later (``timeout`` with ``"pending": true``).
+
+**Edit coalescing algebra.**  An :class:`EditSpec` is one textual
+splice; a list of specs is applied *sequentially* (each offset is
+relative to the text produced by its predecessors).  Two adjacent specs
+merge when the second continues or retracts the first -- the two
+gestures an editor actually produces in a burst:
+
+* *append*: ``b`` starts exactly where ``a``'s insertion ended --
+  ``a=(o, r, "ab")`` then ``b=(o+2, r', "cd")`` becomes
+  ``(o, r + r', "abcd")``;
+* *backspace*: ``b`` deletes a suffix of ``a``'s insertion --
+  ``a=(o, r, "abcd")`` then ``b=(o+2, 2, "")`` becomes ``(o, r, "ab")``.
+
+Both rules preserve the final text exactly (the differential suite
+checks this byte-for-byte); anything else stays a separate spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+# Error codes.
+E_PROTOCOL = "protocol"  # malformed request (bad JSON, missing field)
+E_UNKNOWN_OP = "unknown-op"
+E_NO_SESSION = "no-session"  # unknown doc name (possibly evicted)
+E_EXISTS = "exists"  # open of an already-open doc name
+E_CAPACITY = "capacity"  # session pool full, nothing evictable
+E_BACKPRESSURE = "backpressure"  # session queue full; retry later
+E_TIMEOUT = "timeout"  # reply deadline passed; work may still land
+E_EDIT = "bad-edit"  # edit range outside the document
+E_ANALYSIS = "analysis"  # degradation ladder exhausted
+E_CLOSED = "closed"  # session shut down while request was queued
+
+
+class ProtocolError(ValueError):
+    """A request that cannot even be dispatched."""
+
+
+@dataclass(frozen=True)
+class EditSpec:
+    """One textual splice: remove ``remove`` chars at ``at``, insert text."""
+
+    at: int
+    remove: int
+    insert: str
+
+    def to_json(self) -> dict:
+        return {"at": self.at, "remove": self.remove, "insert": self.insert}
+
+    @classmethod
+    def from_json(cls, obj: object) -> "EditSpec":
+        if not isinstance(obj, dict):
+            raise ProtocolError(f"edit spec must be an object, got {obj!r}")
+        try:
+            at = obj["at"]
+            remove = obj.get("remove", 0)
+            insert = obj.get("insert", "")
+        except (TypeError, KeyError) as error:
+            raise ProtocolError(f"bad edit spec {obj!r}") from error
+        if (
+            not isinstance(at, int)
+            or not isinstance(remove, int)
+            or not isinstance(insert, str)
+            or at < 0
+            or remove < 0
+        ):
+            raise ProtocolError(f"bad edit spec {obj!r}")
+        return cls(at, remove, insert)
+
+    def apply(self, text: str) -> str:
+        """Apply to a plain string; raises ValueError outside the range."""
+        if self.at + self.remove > len(text):
+            raise ValueError(
+                f"edit at {self.at}+{self.remove} outside document "
+                f"of length {len(text)}"
+            )
+        return text[: self.at] + self.insert + text[self.at + self.remove :]
+
+
+def coalesce(a: EditSpec, b: EditSpec) -> EditSpec | None:
+    """Merge ``b`` (applied after ``a``) into ``a``, or None if disjoint."""
+    if b.at == a.at + len(a.insert):
+        # append: b continues exactly where a's insertion ended
+        return EditSpec(a.at, a.remove + b.remove, a.insert + b.insert)
+    if (
+        not b.insert
+        and b.at + b.remove == a.at + len(a.insert)
+        and b.remove <= len(a.insert)
+        and b.at >= a.at
+    ):
+        # backspace: b retracts a suffix of a's insertion
+        return EditSpec(a.at, a.remove, a.insert[: len(a.insert) - b.remove])
+    return None
+
+
+def coalesce_specs(specs: list[EditSpec]) -> list[EditSpec]:
+    """Greedy left fold of :func:`coalesce` over a sequential spec list."""
+    merged: list[EditSpec] = []
+    for spec in specs:
+        if merged:
+            combined = coalesce(merged[-1], spec)
+            if combined is not None:
+                merged[-1] = combined
+                continue
+        merged.append(spec)
+    return merged
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def encode(obj: dict) -> str:
+    """One reply/request as a single JSON line (no trailing newline)."""
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True)
+
+
+def decode_line(line: str) -> dict:
+    """Parse one request line; raises :class:`ProtocolError` on garbage."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"bad JSON: {error}") from error
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = obj.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request missing string 'op'")
+    return obj
+
+
+def ok_reply(rid: object, **fields) -> dict:
+    reply = {"id": rid, "ok": True}
+    reply.update(fields)
+    return reply
+
+
+def error_reply(rid: object, code: str, message: str, **fields) -> dict:
+    reply = {"id": rid, "ok": False, "error": {"code": code, "message": message}}
+    reply.update(fields)
+    return reply
+
+
+def text_digest(text: str) -> str:
+    """Stable content digest replies carry instead of (or beside) text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

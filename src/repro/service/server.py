@@ -1,0 +1,305 @@
+"""Transports and dispatch: ``repro serve`` over stdio or TCP.
+
+The server is a thin shell around :class:`AnalysisService`: each
+transport reads JSON lines, hands every request to
+:meth:`AnalysisService.handle` in its own task (so a slow session never
+blocks the read loop or other sessions), and serializes replies through
+a single writer task per connection (replies may complete out of
+order; clients match on ``id``).
+
+Per-request timeouts live here, on the dispatcher side: the session
+worker computes at its own pace, and a request whose reply misses the
+deadline gets a ``timeout`` error with ``"pending": true`` -- accepted
+edits are *not* un-applied, their effect lands with a later reply.
+That, plus per-session bounded queues with ``backpressure`` replies and
+the session-level degradation ladder, is the whole "never wedge"
+contract: every request gets an answer in bounded time, whatever state
+the analysis is in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+from .. import obs
+from ..langs import language_names
+from .manager import CapacityError, SessionManager
+from .protocol import (
+    E_CAPACITY,
+    E_EXISTS,
+    E_NO_SESSION,
+    E_PROTOCOL,
+    E_TIMEOUT,
+    E_UNKNOWN_OP,
+    EditSpec,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_reply,
+    ok_reply,
+)
+
+SESSION_OPS = {"edit", "parse", "query", "close"}
+
+
+class AnalysisService:
+    """Protocol-level front end over a :class:`SessionManager`."""
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int = 32,
+        max_resident_nodes: int = 2_000_000,
+        queue_limit: int = 64,
+        debounce: float = 0.0,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.manager = SessionManager(
+            max_sessions=max_sessions,
+            max_resident_nodes=max_resident_nodes,
+            queue_limit=queue_limit,
+            debounce=debounce,
+        )
+        self.request_timeout = request_timeout
+        self.requests = 0
+        self.timeouts = 0
+        self._stopping = asyncio.Event()
+
+    # -- dispatch -------------------------------------------------------------
+
+    async def handle(self, request: dict) -> dict | None:
+        """One request to one reply (None only for ``shutdown``'s tail)."""
+        self.requests += 1
+        obs.incr("service.requests")
+        rid = request.get("id")
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return ok_reply(rid, pong=True)
+            if op == "stats":
+                stats = self.manager.stats()
+                stats["requests"] = self.requests
+                stats["timeouts"] = self.timeouts
+                return ok_reply(rid, stats=stats)
+            if op == "shutdown":
+                self._stopping.set()
+                return ok_reply(rid, stopping=True)
+            if op == "open":
+                return await self._handle_open(rid, request)
+            if op in SESSION_OPS:
+                return await self._handle_session_op(rid, op, request)
+            return error_reply(
+                rid, E_UNKNOWN_OP, f"unknown op {op!r}"
+            )
+        except ProtocolError as error:
+            return error_reply(rid, E_PROTOCOL, str(error))
+
+    async def _handle_open(self, rid: object, request: dict) -> dict:
+        name = request.get("doc")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("open needs a non-empty string 'doc'")
+        text = request.get("text", "")
+        if not isinstance(text, str):
+            raise ProtocolError("'text' must be a string")
+        language = request.get("language")
+        grammar = request.get("grammar")
+        if name in self.manager:
+            return error_reply(
+                rid, E_EXISTS, f"session {name!r} already open"
+            )
+        try:
+            session = self.manager.open(
+                name,
+                language=language,
+                grammar=grammar,
+                engine=request.get("engine"),
+                balanced=bool(request.get("balanced", True)),
+            )
+        except CapacityError as error:
+            return error_reply(rid, E_CAPACITY, str(error))
+        except Exception as error:
+            # Unknown built-in name, bad language/grammar combination, or
+            # a grammar-DSL source that does not compile.
+            known = ", ".join(language_names())
+            raise ProtocolError(
+                f"cannot open {name!r}: {error} (built-ins: {known})"
+            ) from None
+        return await self._await_reply(session.open_with(text, rid), rid)
+
+    async def _handle_session_op(
+        self, rid: object, op: str, request: dict
+    ) -> dict:
+        name = request.get("doc")
+        if not isinstance(name, str):
+            raise ProtocolError(f"{op} needs a string 'doc'")
+        try:
+            session = self.manager.get(name)
+        except KeyError:
+            return error_reply(
+                rid,
+                E_NO_SESSION,
+                f"no session {name!r} (never opened, closed, or evicted)",
+            )
+        echo = bool(request.get("echo_text"))
+        if op == "edit":
+            raw = request.get("edits")
+            if not isinstance(raw, list) or not raw:
+                raise ProtocolError("edit needs a non-empty 'edits' list")
+            specs = [EditSpec.from_json(item) for item in raw]
+            future = session.submit_edits(
+                rid, specs, defer=bool(request.get("defer")), echo_text=echo
+            )
+            if request.get("defer"):
+                # Deferred edits are answered at the next flush; do not
+                # start the timeout clock on an intentionally open batch.
+                return await future
+        else:
+            future = session.submit_op(op, rid, echo_text=echo)
+            if op == "close":
+                reply = await self._await_reply(future, rid)
+                self.manager.close(name)
+                return reply
+        return await self._await_reply(future, rid)
+
+    async def _await_reply(self, future: asyncio.Future, rid: object) -> dict:
+        if self.request_timeout is None or self.request_timeout <= 0:
+            return await future
+        try:
+            return await asyncio.wait_for(future, self.request_timeout)
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            obs.incr("service.timeouts")
+            return error_reply(
+                rid,
+                E_TIMEOUT,
+                f"no reply within {self.request_timeout}s; "
+                "accepted edits will land with a later reply",
+                pending=True,
+            )
+
+    async def aclose(self) -> None:
+        self.manager.close_all()
+
+    # -- transports -----------------------------------------------------------
+
+    async def _serve_streams(
+        self,
+        reader: asyncio.StreamReader,
+        write_line,
+    ) -> None:
+        """Shared read loop: one task per request, ordered writes."""
+        outgoing: asyncio.Queue[dict | None] = asyncio.Queue()
+        pending: set[asyncio.Task] = set()
+
+        async def writer() -> None:
+            while True:
+                reply = await outgoing.get()
+                if reply is None:
+                    return
+                await write_line(encode(reply))
+
+        async def run_one(request: dict) -> None:
+            reply = await self.handle(request)
+            if reply is not None:
+                outgoing.put_nowait(reply)
+
+        writer_task = asyncio.ensure_future(writer())
+        stop_task = asyncio.ensure_future(self._stopping.wait())
+        try:
+            while not self._stopping.is_set():
+                line_task = asyncio.ensure_future(reader.readline())
+                done, _ = await asyncio.wait(
+                    {line_task, stop_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if line_task not in done:
+                    line_task.cancel()
+                    break
+                line = line_task.result()
+                if not line:
+                    break  # EOF
+                text = line.decode("utf-8", "replace").strip()
+                if not text:
+                    continue
+                try:
+                    request = decode_line(text)
+                except ProtocolError as error:
+                    outgoing.put_nowait(
+                        error_reply(None, E_PROTOCOL, str(error))
+                    )
+                    continue
+                task = asyncio.ensure_future(run_one(request))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+            # Closing the pool resolves every queued and in-flight waiter
+            # (deferred batches included), so this gather cannot hang.
+            await self.aclose()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            stop_task.cancel()
+            outgoing.put_nowait(None)
+            await writer_task
+
+    async def serve_stdio(self) -> None:
+        """JSON lines on stdin/stdout until EOF or ``shutdown``."""
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader()
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+        )
+
+        async def write_line(line: str) -> None:
+            sys.stdout.write(line + "\n")
+            sys.stdout.flush()
+
+        try:
+            await self._serve_streams(reader, write_line)
+        finally:
+            await self.aclose()
+
+    async def serve_tcp(self, host: str, port: int) -> None:
+        """One JSON-lines protocol instance per TCP connection."""
+
+        async def on_connect(reader, writer) -> None:
+            async def write_line(line: str) -> None:
+                writer.write(line.encode("utf-8") + b"\n")
+                await writer.drain()
+
+            try:
+                await self._serve_streams(reader, write_line)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        server = await asyncio.start_server(on_connect, host, port)
+        addrs = ", ".join(
+            str(sock.getsockname()) for sock in server.sockets
+        )
+        print(f"repro serve: listening on {addrs}", file=sys.stderr)
+        try:
+            async with server:
+                await self._stopping.wait()
+        finally:
+            await self.aclose()
+
+
+def serve(args) -> int:
+    """``repro serve`` entry point (see `repro.cli`)."""
+    service = AnalysisService(
+        max_sessions=args.max_sessions,
+        max_resident_nodes=args.max_nodes,
+        queue_limit=args.queue_limit,
+        debounce=args.debounce_ms / 1e3,
+        request_timeout=args.timeout,
+    )
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        asyncio.run(service.serve_tcp(host or "127.0.0.1", int(port)))
+    else:
+        asyncio.run(service.serve_stdio())
+    return 0

@@ -1,0 +1,507 @@
+"""One open document: a single-writer worker behind a bounded queue.
+
+Concurrency model
+-----------------
+
+All state belongs to the event loop.  The *dispatcher* side
+(:meth:`Session.submit_*`, called by the server for each request) only
+validates, updates the authoritative ``shadow_text``, and enqueues; the
+*worker* task is the session's single writer -- the only code that ever
+touches the :class:`~repro.versioned.document.Document`.  The queue is
+bounded: when it is full the dispatcher replies ``backpressure``
+immediately instead of buffering without limit.
+
+Batching and coalescing
+-----------------------
+
+The worker drains greedily: consecutive queued edit requests are merged
+into one batch (optionally waiting ``debounce`` seconds for stragglers,
+and indefinitely for requests marked ``defer``), their specs coalesced
+by the protocol algebra, and the document parsed *once*.  Every request
+in the batch receives the same post-batch reply, so N keystrokes cost
+one incremental parse.
+
+Text authority and the degradation ladder
+-----------------------------------------
+
+``shadow_text`` -- the plain string produced by applying every accepted
+edit in order -- is the client's view of the buffer and the service's
+ground truth.  A flush must land the document exactly on the batch's
+target text, by the cheapest rung that works:
+
+1. **incremental**: apply the coalesced specs, ``doc.parse()`` (which
+   internally runs the PR-1 recovery ladder; error isolation preserves
+   the text);
+2. **batch rebuild**: any failure -- an injected fault, an invariant
+   violation, or a parse whose history-sensitive recovery *reverted*
+   edits the client still has in its buffer -- discards the document
+   and reparses the target text from scratch (error-tolerant);
+3. **structured error**: if even the rebuild fails, every waiter gets
+   an ``analysis`` error reply and the session stays alive; the next
+   request finds the document stale and re-runs the ladder.
+
+A session can therefore be *poisoned* (rung 3) but never *wedged*: no
+exception escapes the worker, and recovery needs no operator action.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from .. import obs
+from ..language import Language
+from ..testing.faults import crash_point
+from ..versioned.document import Document
+from .protocol import (
+    E_ANALYSIS,
+    E_BACKPRESSURE,
+    E_CLOSED,
+    E_EDIT,
+    EditSpec,
+    coalesce_specs,
+    error_reply,
+    ok_reply,
+    text_digest,
+)
+
+
+@dataclass
+class _Work:
+    """One queued request: what to do, and whom to answer."""
+
+    kind: str  # "edits" | "parse" | "query" | "close"
+    rid: object
+    future: asyncio.Future
+    specs: list[EditSpec] = field(default_factory=list)
+    defer: bool = False
+    echo_text: bool = False
+    base: str = ""  # shadow text before this item's specs
+    target: str = ""  # shadow text after this item's specs
+
+
+def _resolve(work: _Work, reply: dict) -> None:
+    """Deliver a reply unless the waiter timed out (future cancelled)."""
+    if not work.future.done():
+        work.future.set_result(reply)
+
+
+class Session:
+    """A live editing session over one versioned document."""
+
+    def __init__(
+        self,
+        name: str,
+        language: Language,
+        *,
+        engine: str = "iglr",
+        balanced: bool = True,
+        queue_limit: int = 64,
+        debounce: float = 0.0,
+        on_flush=None,
+    ) -> None:
+        self.name = name
+        self.language = language
+        self.language_label = "<inline>"  # manager overwrites with the name
+        self.engine = engine
+        # Long-lived interactive sessions default to the balanced
+        # sequence representation: statement-list spines collapse to
+        # log depth, so per-keystroke parses stay flat as buffers grow
+        # (paper 3.4).  Clients can opt out per document.
+        self.balanced = balanced
+        self.debounce = debounce
+        self.doc: Document | None = None
+        self.shadow_text = ""
+        self.queue: asyncio.Queue[_Work] = asyncio.Queue(maxsize=queue_limit)
+        self.closed = False
+        self.busy = False  # worker holds un-replied work
+        self.version_opened = False
+        self._worker: asyncio.Task | None = None
+        self._gate = asyncio.Event()  # cleared = paused (tests/ops seam)
+        self._gate.set()
+        self._on_flush = on_flush  # manager hook: resident accounting
+        # Per-session work counters, kept unconditionally (obs may be
+        # off); mirrored into obs.* so traces see them too.
+        self.counts = {
+            "edits_received": 0,
+            "edits_applied": 0,
+            "batches": 0,
+            "parses": 0,
+            "rebuilds": 0,
+            "degraded": 0,
+            "errors": 0,
+            "backpressure": 0,
+        }
+
+    # -- dispatcher side ------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """No queued or in-flight work: safe to evict."""
+        return self.queue.empty() and not self.busy
+
+    def pause(self) -> None:
+        """Hold the worker before its next batch (tests, drains)."""
+        self._gate.clear()
+
+    def resume(self) -> None:
+        self._gate.set()
+
+    def open_with(self, text: str, rid: object) -> asyncio.Future:
+        """Queue the initial parse; the reply mirrors an edit reply."""
+        self.shadow_text = text
+        work = _Work(
+            "edits",
+            rid,
+            asyncio.get_running_loop().create_future(),
+            base=text,
+            target=text,
+        )
+        return self._enqueue(work)
+
+    def submit_edits(
+        self,
+        rid: object,
+        specs: list[EditSpec],
+        *,
+        defer: bool = False,
+        echo_text: bool = False,
+    ) -> asyncio.Future:
+        future = asyncio.get_running_loop().create_future()
+        base = self.shadow_text
+        text = base
+        try:
+            for spec in specs:
+                text = spec.apply(text)
+        except ValueError as error:
+            future.set_result(error_reply(rid, E_EDIT, str(error)))
+            return future
+        work = _Work(
+            "edits",
+            rid,
+            future,
+            specs=list(specs),
+            defer=defer,
+            echo_text=echo_text,
+            base=base,
+            target=text,
+        )
+        future = self._enqueue(work)
+        if not future.done():  # accepted: the edits are now authoritative
+            self.shadow_text = text
+            self.counts["edits_received"] += len(specs)
+            obs.incr("service.edits_received", len(specs))
+        return future
+
+    def submit_op(
+        self, kind: str, rid: object, *, echo_text: bool = False
+    ) -> asyncio.Future:
+        """Queue a parse / query / close, ordered after pending edits."""
+        work = _Work(
+            kind,
+            rid,
+            asyncio.get_running_loop().create_future(),
+            echo_text=echo_text,
+            base=self.shadow_text,
+            target=self.shadow_text,
+        )
+        return self._enqueue(work)
+
+    def _enqueue(self, work: _Work) -> asyncio.Future:
+        if self.closed:
+            work.future.set_result(
+                error_reply(work.rid, E_CLOSED, f"session {self.name!r} closed")
+            )
+            return work.future
+        try:
+            self.queue.put_nowait(work)
+        except asyncio.QueueFull:
+            self.counts["backpressure"] += 1
+            obs.incr("service.backpressure")
+            work.future.set_result(
+                error_reply(
+                    work.rid,
+                    E_BACKPRESSURE,
+                    f"session {self.name!r} queue full "
+                    f"({self.queue.maxsize} pending); retry",
+                    retry=True,
+                )
+            )
+            return work.future
+        if self._worker is None:
+            self._worker = asyncio.get_running_loop().create_task(
+                self._run(), name=f"repro-session-{self.name}"
+            )
+        return work.future
+
+    def shut_down(self, *, cancel: bool = True) -> None:
+        """Evict/stop: fail queued waiters and kill the worker."""
+        self.closed = True
+        while True:
+            try:
+                work = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            _resolve(
+                work,
+                error_reply(work.rid, E_CLOSED, f"session {self.name!r} closed"),
+            )
+        if cancel and self._worker is not None:
+            self._worker.cancel()
+            self._worker = None
+
+    # -- worker side ----------------------------------------------------------
+
+    async def _run(self) -> None:
+        while True:
+            work = await self.queue.get()
+            self.busy = True
+            try:
+                await self._gate.wait()
+                stop = await self._step(work)
+            except asyncio.CancelledError:
+                # Shutdown/eviction mid-step: the in-flight request must
+                # still get an answer (absorbed batch items are resolved
+                # by _gather's own handler; _resolve is idempotent).
+                _resolve(
+                    work,
+                    error_reply(
+                        work.rid, E_CLOSED, f"session {self.name!r} closed"
+                    ),
+                )
+                raise
+            finally:
+                self.busy = False
+            if stop:
+                return
+
+    async def _step(self, work: _Work) -> bool:
+        if work.kind == "edits":
+            batch, follow = await self._gather(work)
+            self._flush(batch)
+            if follow is None:
+                return False
+            work = follow
+        return self._handle(work)
+
+    async def _gather(
+        self, first: _Work
+    ) -> tuple[list[_Work], _Work | None]:
+        """Absorb consecutive queued edit requests into one batch.
+
+        Returns the batch plus the first non-edit item encountered (to
+        be handled after the flush), if any.  A trailing ``defer`` item
+        holds the batch open until *anything* else arrives -- that next
+        request is the flush trigger.
+        """
+        batch = [first]
+        try:
+            while True:
+                try:
+                    nxt = self.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    if batch[-1].defer:
+                        nxt = await self.queue.get()
+                    elif self.debounce > 0:
+                        try:
+                            nxt = await asyncio.wait_for(
+                                self.queue.get(), self.debounce
+                            )
+                        except asyncio.TimeoutError:
+                            return batch, None
+                    else:
+                        return batch, None
+                if nxt.kind == "edits":
+                    batch.append(nxt)
+                else:
+                    return batch, nxt
+        except asyncio.CancelledError:
+            # A deferred batch can be parked here indefinitely; shutdown
+            # must not strand its waiters.
+            for work in batch:
+                _resolve(
+                    work,
+                    error_reply(
+                        work.rid, E_CLOSED, f"session {self.name!r} closed"
+                    ),
+                )
+            raise
+
+    def _flush(self, batch: list[_Work]) -> None:
+        """Land the document on the batch target, by the cheapest rung."""
+        specs = [spec for work in batch for spec in work.specs]
+        merged = coalesce_specs(specs)
+        base, target = batch[0].base, batch[-1].target
+        self.counts["batches"] += 1
+        self.counts["edits_applied"] += len(merged)
+        obs.incr("service.batches")
+        obs.incr("service.edits_applied", len(merged))
+        if len(batch) > 1:
+            obs.incr("service.requests_batched", len(batch) - 1)
+        report = None
+        degraded = False
+        with obs.span(
+            "service.batch", doc=self.name, edits=len(specs), merged=len(merged)
+        ):
+            try:
+                crash_point("service:batch-start")
+                if self.doc is None or self.doc.text != base:
+                    # Stale (first open, or a rung-3 failure last time):
+                    # the incremental rung has nothing sound to build on.
+                    report = self._rebuild(target)
+                    degraded = self.version_opened
+                else:
+                    for spec in merged:
+                        self.doc.edit(spec.at, spec.remove, spec.insert)
+                    crash_point("service:before-parse")
+                    report = self.doc.parse()
+                    self.counts["parses"] += 1
+                    if self.doc.text != target:
+                        # History-sensitive recovery reverted edits the
+                        # client still has in its buffer; the client's
+                        # text is authoritative, so fall back to an
+                        # error-isolating batch parse of the target.
+                        report = self._rebuild(target)
+                        degraded = True
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                try:
+                    report = self._rebuild(target)
+                    degraded = True
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:
+                    self._fail_batch(batch, error)
+                    return
+        if degraded:
+            self.counts["degraded"] += 1
+            obs.incr("service.degraded")
+        self.version_opened = True
+        fields = self._state_fields()
+        fields.update(
+            batched=len(batch),
+            applied=len(merged),
+            degraded=degraded,
+            error_regions=report.error_regions,
+            recovered=report.recovered,
+            ambiguous=report.ambiguous_regions,
+        )
+        for work in batch:
+            reply = ok_reply(work.rid, **fields)
+            if work.echo_text:
+                reply["text"] = self.doc.text
+            _resolve(work, reply)
+        if self._on_flush is not None:
+            self._on_flush(self)
+
+    def _rebuild(self, target: str):
+        """Ladder rung 2: error-tolerant batch reparse of the target text."""
+        crash_point("service:rebuild")
+        self.counts["rebuilds"] += 1
+        obs.incr("service.rebuilds")
+        doc = Document(
+            self.language,
+            target,
+            engine=self.engine,
+            balanced_sequences=self.balanced,
+        )
+        report = doc.parse()
+        self.doc = doc
+        return report
+
+    def _fail_batch(self, batch: list[_Work], error: Exception) -> None:
+        """Ladder rung 3: structured error; session stays recoverable."""
+        self.counts["errors"] += 1
+        obs.incr("service.errors")
+        for work in batch:
+            _resolve(
+                work,
+                error_reply(
+                    work.rid,
+                    E_ANALYSIS,
+                    f"analysis failed: {type(error).__name__}: {error}",
+                    recoverable=True,
+                ),
+            )
+
+    def _handle(self, work: _Work) -> bool:
+        """A non-edit op; pending edits have already been flushed."""
+        if work.kind == "close":
+            _resolve(work, ok_reply(work.rid, closed=self.name))
+            self.shut_down(cancel=False)
+            self._worker = None
+            return True
+        try:
+            if (
+                self.doc is None
+                or self.doc.text != work.target
+                # Dirty with matching text: a failed flush left edits
+                # applied but unparsed, so tree-derived answers would
+                # describe an older buffer.  Rebuild before answering.
+                or self.doc.dirty
+            ):
+                self._rebuild(work.target)
+                self.version_opened = True
+            if work.kind == "parse":
+                report = self.doc.parse()
+                self.counts["parses"] += 1
+                fields = self._state_fields()
+                fields.update(
+                    error_regions=report.error_regions,
+                    recovered=report.recovered,
+                    ambiguous=report.ambiguous_regions,
+                )
+            else:  # query
+                fields = self._state_fields()
+                fields["has_errors"] = self.doc.has_errors
+                fields["ambiguous"] = self.doc.is_ambiguous
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            self.counts["errors"] += 1
+            obs.incr("service.errors")
+            _resolve(
+                work,
+                error_reply(
+                    work.rid,
+                    E_ANALYSIS,
+                    f"analysis failed: {type(error).__name__}: {error}",
+                    recoverable=True,
+                ),
+            )
+            return False
+        reply = ok_reply(work.rid, **fields)
+        if work.echo_text:
+            reply["text"] = self.doc.text
+        _resolve(work, reply)
+        if self._on_flush is not None:
+            self._on_flush(self)
+        return False
+
+    def _state_fields(self) -> dict:
+        return {
+            "doc": self.name,
+            "version": self.doc.version,
+            "tokens": len(self.doc.tokens),
+            "sha256": text_digest(self.doc.text),
+        }
+
+    # -- introspection --------------------------------------------------------
+
+    def resident_nodes(self) -> int:
+        """DAG size of the committed tree (memoized per version)."""
+        return self.doc.tree_node_count() if self.doc is not None else 0
+
+    def describe(self) -> dict:
+        return {
+            "language": self.language_label,
+            "engine": self.engine,
+            "balanced": self.balanced,
+            "version": self.doc.version if self.doc else 0,
+            "tokens": len(self.doc.tokens) if self.doc else 0,
+            "resident_nodes": self.resident_nodes(),
+            "queue_depth": self.queue.qsize(),
+            "busy": self.busy,
+            "counts": dict(self.counts),
+        }

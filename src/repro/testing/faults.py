@@ -47,19 +47,30 @@ class FaultPlan:
     """What to crash, and when.
 
     Args:
-        crash_at: name of the crash point to arm, or None to only record.
-        after: number of arrivals at ``crash_at`` to let pass first
+        crash_at: name of the crash point to arm, a collection of names
+            to arm several at once (each with its own arrival counter --
+            used to fail a primary path *and* its fallback), or None to
+            only record.
+        after: number of arrivals at an armed point to let pass first
             (0 = crash on the first arrival).
     """
 
-    crash_at: str | None = None
+    crash_at: str | Sequence[str] | None = None
     after: int = 0
     hits: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.crash_at is None:
+            self._armed = frozenset()
+        elif isinstance(self.crash_at, str):
+            self._armed = frozenset((self.crash_at,))
+        else:
+            self._armed = frozenset(self.crash_at)
 
     def visit(self, name: str) -> None:
         count = self.hits.get(name, 0)
         self.hits[name] = count + 1
-        if name == self.crash_at and count >= self.after:
+        if name in self._armed and count >= self.after:
             raise InjectedFault(f"injected fault at {name!r} (hit {count + 1})")
 
 
@@ -76,12 +87,14 @@ def crash_point(name: str) -> None:
 
 @contextmanager
 def inject(
-    crash_at: str | None = None, after: int = 0
+    crash_at: str | Sequence[str] | None = None, after: int = 0
 ) -> Iterator[FaultPlan]:
-    """Arm a crash point for the duration of a with-block.
+    """Arm one or more crash points for the duration of a with-block.
 
     With ``crash_at=None`` nothing crashes; the yielded plan just
-    records every point it passes (discovery mode).
+    records every point it passes (discovery mode).  A collection arms
+    every named point -- the way to crash a recovery path *and* the
+    fallback it degrades to.
     """
     global _active
     plan = FaultPlan(crash_at, after)

