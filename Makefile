@@ -14,19 +14,28 @@
 #   make serve-smoke - end-to-end analysis-service check: drives a
 #                      scripted session through `repro serve` over stdio
 #                      (examples/service_session.py)
+#   make fault-smoke - crash-safety gate: the kill -9 recovery harness
+#                      (SIGKILL a live `repro serve --state-dir` at every
+#                      registered persistence crash point, restart,
+#                      assert byte-identical rehydration), the durable-
+#                      snapshot suites, and the crash-point coverage gate
 #   make trace-demo  - sample observability run: writes a JSON-lines span
 #                      trace of an example edit session to
 #                      benchmarks/results/TRACE_demo.jsonl
 
 PY = PYTHONPATH=src python
 
-.PHONY: test smoke bench bench-smoke serve-smoke trace-demo
+.PHONY: test smoke bench bench-smoke serve-smoke fault-smoke trace-demo
 
 test:
 	$(PY) -m pytest -q
 
 smoke:
 	REPRO_VALIDATE=1 $(PY) -m pytest -q -m "fuzz or faults"
+
+fault-smoke:
+	$(PY) -m pytest -q -m "persistence or (faults and service)" \
+		tests/service
 
 bench:
 	$(PY) -m pytest -q benchmarks

@@ -16,7 +16,15 @@ editor fleet would feel:
   baseline while >= 8 sessions run concurrently;
 * **cycle_counters**: the `repro.obs` work counters for a
   representative session slice, so the latency numbers sit next to the
-  reuse/rescan work that produced them.
+  reuse/rescan work that produced them;
+* **persistence figures**: the cost of a durable snapshot save (the
+  write-ahead hook every flush pays when ``--state-dir`` is on) and the
+  restart-recovery latency of a *warm* rehydration -- snapshot load +
+  journal-tail replay + one incremental pass -- against the cold
+  text-only rebuild and the batch-reparse baseline.  The acceptance
+  bar: warm recovery and the snapshot save must both cost less than a
+  batch reparse of the document, i.e. a process restart is cheaper than
+  the full reparse it used to force.
 
 ``--smoke`` shrinks edit counts (CI); ``--check`` exits non-zero when
 the acceptance bar fails.
@@ -200,11 +208,100 @@ async def _cycle_counters(text: str) -> dict:
     return {k: v for k, v in sorted(work.items()) if v}
 
 
+async def _persistence_figures(
+    text: str, state_root, repeat: int
+) -> dict:
+    """Snapshot-save cost and restart-recovery latency, warm vs cold."""
+    import shutil
+
+    from ..service.persist import SnapshotStore
+    from ..service.server import AnalysisService
+
+    state = state_root / "persist-bench"
+
+    async def one_life(requests):
+        service = AnalysisService(state_dir=state)
+        replies = [await service.handle(req) for req in requests]
+        await service.aclose()
+        return replies
+
+    # Build the durable session: open, one incremental edit (so the
+    # snapshot carries a real post-edit DAG), forced snapshot.
+    site = text.index("=") + 2
+    await one_life([
+        {"op": "open", "id": 0, "doc": "bench", "language": LANGUAGE,
+         "text": text},
+        {"op": "edit", "id": 1, "doc": "bench",
+         "edits": [{"at": site, "remove": 1, "insert": "7"}]},
+    ])
+
+    # Snapshot-save cost: what the write-ahead hook pays per changed
+    # flush (forced, so dedup cannot skip the work).
+    service = AnalysisService(state_dir=state)
+    await service.handle(
+        {"op": "query", "id": 0, "doc": "bench"}
+    )
+    saves = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        reply = await service.handle(
+            {"op": "snapshot", "id": 1, "doc": "bench"}
+        )
+        saves.append(time.perf_counter() - t0)
+        assert reply["ok"] and reply["persisted"], reply
+    snapshot_bytes = service.store.stats()["bytes"]
+    await service.aclose()
+
+    async def recover_once() -> float:
+        service = AnalysisService(state_dir=state)
+        t0 = time.perf_counter()
+        reply = await service.handle(
+            {"op": "query", "id": 0, "doc": "bench"}
+        )
+        elapsed = time.perf_counter() - t0
+        assert reply["ok"] and reply.get("rehydrated"), reply
+        rebuilds = service.manager.get("bench").counts["rebuilds"]
+        await service.aclose()
+        return elapsed, rebuilds
+
+    warm = []
+    for _ in range(repeat):
+        elapsed, rebuilds = await recover_once()
+        assert rebuilds == 0, "warm recovery fell back to a rebuild"
+        warm.append(elapsed)
+
+    # Cold baseline: strip the DAG payload so recovery must batch-parse
+    # the whole text -- what every restart cost before snapshots.
+    store = SnapshotStore(state)
+    snap = store.load("bench")
+    snap.doc_payload = None
+    store.save(snap)
+    cold = []
+    for _ in range(repeat):
+        elapsed, rebuilds = await recover_once()
+        assert rebuilds == 1, "cold recovery should have rebuilt"
+        cold.append(elapsed)
+        snap = store.load("bench")
+        snap.doc_payload = None  # aclose re-saved warm; strip again
+        store.save(snap)
+
+    shutil.rmtree(state, ignore_errors=True)
+    return {
+        "snapshot_save_seconds": min(saves),
+        "snapshot_bytes": snapshot_bytes,
+        "warm_recovery_seconds": min(warm),
+        "cold_recovery_seconds": min(cold),
+        "warm_speedup_vs_cold": min(cold) / min(warm) if min(warm) else 0.0,
+    }
+
+
 def run(
     smoke: bool = False,
     sessions: int | None = None,
     n_edits: int | None = None,
 ) -> dict:
+    import tempfile
+
     sessions = sessions if sessions is not None else 8
     n_edits = n_edits if n_edits is not None else (24 if smoke else 100)
     text = generate_calc_program(SIZE, seed=23)
@@ -213,6 +310,12 @@ def run(
     )
     baseline = _batch_baseline(text, repeat=2 if smoke else 3)
     cycle = asyncio.run(_cycle_counters(text))
+    with tempfile.TemporaryDirectory() as tmp:
+        from pathlib import Path
+
+        persistence = asyncio.run(
+            _persistence_figures(text, Path(tmp), repeat=3 if smoke else 5)
+        )
     return {
         "benchmark": "service",
         "smoke": smoke,
@@ -227,6 +330,7 @@ def run(
             else float("inf"),
         },
         "cycle_counters": cycle,
+        "persistence": persistence,
     }
 
 
@@ -247,6 +351,22 @@ def check(report: dict) -> list[str]:
         )
     if load["timeouts"]:
         problems.append(f"{load['timeouts']} request(s) timed out")
+    persistence = report.get("persistence")
+    if persistence:
+        warm = persistence["warm_recovery_seconds"]
+        save = persistence["snapshot_save_seconds"]
+        if warm >= baseline:
+            problems.append(
+                f"warm restart recovery {warm:.6f}s is not below the "
+                f"batch-reparse baseline {baseline:.6f}s -- recovery is "
+                "not bounded by an incremental pass"
+            )
+        if save >= baseline:
+            problems.append(
+                f"snapshot save {save:.6f}s costs more than a batch "
+                f"reparse {baseline:.6f}s -- the write-ahead hook is "
+                "too expensive"
+            )
     return problems
 
 
@@ -283,13 +403,25 @@ def main(argv: list[str] | None = None) -> int:
         f"({load['coalesce']['edits_received']} edits -> "
         f"{load['coalesce']['batches']} batches)"
     )
+    persistence = report["persistence"]
+    print(
+        f"persistence: snapshot save "
+        f"{persistence['snapshot_save_seconds'] * 1e3:.2f} ms "
+        f"({persistence['snapshot_bytes']} bytes), warm restart recovery "
+        f"{persistence['warm_recovery_seconds'] * 1e3:.2f} ms vs cold "
+        f"{persistence['cold_recovery_seconds'] * 1e3:.2f} ms "
+        f"({persistence['warm_speedup_vs_cold']:.1f}x)"
+    )
     if args.check:
         problems = check(report)
         if problems:
             for problem in problems:
                 print(f"REGRESSION: {problem}", file=sys.stderr)
             return 1
-        print("check passed: >= 8 sessions, p95 under batch reparse")
+        print(
+            "check passed: >= 8 sessions, p95 under batch reparse, "
+            "warm recovery and snapshot save under batch reparse"
+        )
     return 0
 
 

@@ -23,6 +23,14 @@ Commands:
 * ``serve``                     — the multi-document analysis service:
   JSON-lines requests on stdio (default) or ``--tcp HOST:PORT``; see
   docs/SERVICE.md for the protocol, backpressure and eviction policy.
+  ``--state-dir DIR`` (or ``REPRO_STATE_DIR``) makes sessions durable:
+  snapshotted on flush/eviction/shutdown, rehydrated lazily after a
+  restart.
+* ``sessions --state-dir DIR``  — inspect a snapshot store:
+  ``--list`` (default) prints every durable session; ``--gc`` removes
+  quarantined files (and, with ``--max-age``, expired snapshots).
+* ``faults --list``             — every registered crash point with its
+  description (the registry the fault-suite coverage gate enforces).
 
 ``LANG.g`` is a grammar-DSL description (see `repro.grammar.dsl`), or
 the name of a bundled language (``calc``, ``minic``, ``minifortran``,
@@ -273,6 +281,50 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return serve(args)
 
 
+def cmd_sessions(args: argparse.Namespace) -> int:
+    from .service.persist import SnapshotStore
+
+    store = SnapshotStore(args.state_dir)
+    if args.gc:
+        result = store.gc(args.max_age)
+        print(
+            f"gc: removed {result['quarantined_removed']} quarantined, "
+            f"{result['expired_removed']} expired"
+        )
+        return 0
+    entries = store.entries()
+    bad = store.quarantined_files()
+    print(f"state dir: {store.directory}")
+    print(f"{len(entries)} snapshot(s), {len(bad)} quarantined file(s)")
+    for entry in entries:
+        if entry.get("corrupt"):
+            print(f"  {entry['file']}  CORRUPT  {entry['bytes']} bytes")
+            continue
+        warm = "warm" if entry["warm"] else "cold"
+        print(
+            f"  {entry['name']:24s} {entry['language']:10s} "
+            f"v{entry['version']:<5d} {entry['text_bytes']:>8d} chars  "
+            f"{entry['journal_edits']} tail edit(s)  [{warm}]"
+        )
+    for path in bad:
+        print(f"  quarantined: {path.name}")
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    # Importing the instrumented layers populates the registry: each
+    # module declares its crash points at import time.
+    from . import service  # noqa: F401
+    from .testing.faults import registered_points
+    from .versioned import document  # noqa: F401
+
+    points = registered_points()
+    print(f"{len(points)} registered crash point(s):")
+    for name in sorted(points):
+        print(f"  {name:28s} {points[name]}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -403,7 +455,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="per-request reply deadline in seconds (0 disables)",
     )
+    p_serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="durable session snapshots here (default: $REPRO_STATE_DIR; "
+        "unset disables persistence)",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_sessions = sub.add_parser(
+        "sessions", help="inspect/garbage-collect a session snapshot store"
+    )
+    p_sessions.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="snapshot store directory (as passed to serve)",
+    )
+    p_sessions.add_argument(
+        "--list", action="store_true",
+        help="list durable sessions (default)",
+    )
+    p_sessions.add_argument(
+        "--gc", action="store_true",
+        help="remove quarantined files (and expired snapshots, see "
+        "--max-age)",
+    )
+    p_sessions.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="with --gc, also drop snapshots older than this",
+    )
+    p_sessions.set_defaults(func=cmd_sessions)
+
+    p_faults = sub.add_parser(
+        "faults", help="list registered crash points"
+    )
+    p_faults.add_argument(
+        "--list", action="store_true",
+        help="list every registered crash point (default)",
+    )
+    p_faults.set_defaults(func=cmd_faults)
 
     return parser
 

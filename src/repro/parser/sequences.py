@@ -33,7 +33,12 @@ from ..dag.sequences import SequenceNode, SequencePart, parts_created
 from ..dag.traversal import first_terminal, last_terminal, previous_terminal
 from ..grammar.cfg import Grammar
 from ..lexing.tokens import BOS, EOS, Token
-from ..testing.faults import crash_point
+from ..testing.faults import crash_point, register_points
+
+register_points(**{
+    "repair:before-splice": "sequence repair about to splice new items",
+    "repair:after-splice": "spliced; ancestor lengths refreshed",
+})
 from .iglr import IGLRParser, ParseError, ParseStats
 from .input_stream import InputStream
 

@@ -18,6 +18,9 @@ Layering:
   structured error) that keeps a poisoned session recoverable;
 * :mod:`repro.service.manager` -- the session pool: LRU eviction of
   idle sessions, a cap on total resident DAG nodes;
+* :mod:`repro.service.persist` -- durable session snapshots: a
+  crash-safe store (atomic publish, verified reads, quarantine) that
+  makes restart/eviction recoverable by one incremental pass;
 * :mod:`repro.service.server` -- transports (stdio and TCP), request
   dispatch, per-request timeouts, the ``repro serve`` entry point.
 
@@ -30,6 +33,7 @@ replies after batched/coalesced edits are byte-identical to driving a
 """
 
 from .manager import CapacityError, SessionManager
+from .persist import SessionSnapshot, SnapshotStore
 from .protocol import (
     EditSpec,
     ProtocolError,
@@ -49,6 +53,8 @@ __all__ = [
     "ProtocolError",
     "Session",
     "SessionManager",
+    "SessionSnapshot",
+    "SnapshotStore",
     "coalesce_specs",
     "decode_line",
     "encode",

@@ -16,6 +16,14 @@ Eviction is *stateless recovery* by design: an evicted session simply
 disappears, and a client that still references it gets ``no-session``
 and re-opens with its own buffer -- the authoritative text always lives
 client-side (see `repro.service.session`).
+
+With a :class:`~repro.service.persist.SnapshotStore` attached, eviction
+and shutdown stop being lossy: sessions are snapshotted before they go
+(and after every flush, write-ahead of the reply), an unknown session
+name is *rehydrated* from its snapshot on the next request, and a
+saturated pool may snapshot-and-force-evict the least-recently-used
+*quiesced* session (parked on a deferred batch) instead of refusing
+with ``capacity`` outright.
 """
 
 from __future__ import annotations
@@ -25,7 +33,15 @@ from collections import OrderedDict
 from .. import obs
 from ..language import Language
 from ..langs import get_language
+from ..testing.faults import crash_point, register_points
+from .persist import SnapshotStore
 from .session import Session
+
+register_points(**{
+    "persist:evict": "idle session about to be snapshotted for eviction",
+    "persist:evict-forced": "quiesced session snapshot-and-forced out",
+    "persist:shutdown": "graceful shutdown about to snapshot a session",
+})
 
 
 class CapacityError(RuntimeError):
@@ -43,15 +59,23 @@ class SessionManager:
         queue_limit: int = 64,
         debounce: float = 0.0,
         default_engine: str = "iglr",
+        store: SnapshotStore | None = None,
     ) -> None:
         self.max_sessions = max_sessions
         self.max_resident_nodes = max_resident_nodes
         self.queue_limit = queue_limit
         self.debounce = debounce
         self.default_engine = default_engine
+        self.store = store
         # Insertion order == recency order: move_to_end on every touch.
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
-        self.counts = {"opened": 0, "closed": 0, "evictions": 0}
+        self.counts = {
+            "opened": 0,
+            "closed": 0,
+            "evictions": 0,
+            "forced_evictions": 0,
+            "rehydrated": 0,
+        }
         # Work counters of sessions that already closed or were evicted,
         # so stats() totals cover the pool's whole lifetime.
         self._retired: dict[str, int] = {}
@@ -112,8 +136,14 @@ class SessionManager:
             queue_limit=self.queue_limit,
             debounce=self.debounce,
             on_flush=self._after_flush,
+            on_persist=self._persist_session if self.store else None,
         )
         session.language_label = language or "<inline>"
+        session.grammar_source = grammar
+        if self.store is not None:
+            # A fresh open supersedes any durable state for this name:
+            # the client's buffer, not the old snapshot, is authority.
+            self.store.delete(name)
         self._sessions[name] = session
         self.counts["opened"] += 1
         obs.incr("service.sessions_opened")
@@ -124,12 +154,20 @@ class SessionManager:
         """Forget a session the client closed (worker already stopped)."""
         session = self._sessions.pop(name, None)
         if session is not None:
+            if self.store is not None:
+                # An explicit close drops durable state too; eviction
+                # (which must survive) goes through _evict_one instead.
+                self.store.delete(name)
             self._retire(session)
             self.counts["closed"] += 1
             obs.set_gauge("service.sessions", len(self._sessions))
 
-    def close_all(self) -> None:
+    def close_all(self, *, snapshot: bool = True) -> None:
+        """Graceful shutdown: snapshot everything, then stop workers."""
         for session in list(self._sessions.values()):
+            if snapshot and self.store is not None:
+                crash_point("persist:shutdown")
+                self._persist_session(session, force=True)
             session.shut_down()
             self._retire(session)
         self._sessions.clear()
@@ -142,18 +180,117 @@ class SessionManager:
     # -- eviction -------------------------------------------------------------
 
     def _evict_one(self, exclude: Session | None = None) -> bool:
-        """Drop the least-recently-used idle session; False if none."""
+        """Snapshot-and-drop the least-recently-used evictable session.
+
+        First choice is an *idle* session (no queued or in-flight work).
+        With a snapshot store attached, a saturated pool falls back to
+        the LRU *quiesced* session -- one parked on a deferred batch,
+        whose accepted edits are all captured by the journal -- instead
+        of failing the open with ``capacity``.  Returns False only when
+        nothing is evictable.
+        """
         for name, session in self._sessions.items():
             if session is exclude or not session.idle:
                 continue
-            session.shut_down()
-            self._retire(session)
-            del self._sessions[name]
-            self.counts["evictions"] += 1
-            obs.incr("service.evictions")
-            obs.set_gauge("service.sessions", len(self._sessions))
+            if self.store is not None:
+                crash_point("persist:evict")
+                self._persist_session(session)
+            self._drop(name, session, "evictions", "service.evictions")
+            return True
+        if self.store is None:
+            return False
+        for name, session in self._sessions.items():
+            if session is exclude or not session.quiesced:
+                continue
+            crash_point("persist:evict-forced")
+            if not self._persist_session(session, force=True):
+                continue  # unpersistable: refusing beats losing edits
+            self._drop(
+                name, session, "forced_evictions", "service.forced_evictions"
+            )
             return True
         return False
+
+    def _drop(self, name: str, session: Session, count: str, metric: str) -> None:
+        session.shut_down()
+        self._retire(session)
+        del self._sessions[name]
+        self.counts[count] += 1
+        obs.incr(metric)
+        obs.set_gauge("service.sessions", len(self._sessions))
+
+    # -- persistence ----------------------------------------------------------
+
+    def _persist_session(self, session: Session, force: bool = False) -> bool:
+        """Snapshot one session to the store; never raises.
+
+        Deduped on ``(committed version, shadow text)`` so the
+        after-every-flush write-ahead hook does one save per state, not
+        one per request, and evict/shutdown saves of an already-current
+        session are free.
+        """
+        if self.store is None:
+            return False
+        marker = (
+            session.doc.version if session.doc is not None else 0,
+            session.shadow_text,
+        )
+        if not force and session._persist_marker == marker:
+            return True
+        try:
+            snapshot = session.make_snapshot()
+            self.store.save(snapshot)
+        except Exception:
+            obs.incr("persist.hook_errors")
+            return False
+        session._persist_marker = marker
+        return True
+
+    def rehydrate(self, name: str) -> Session | None:
+        """Lazily resurrect a snapshotted session; None when unknown.
+
+        Raises :class:`CapacityError` when the pool is full and nothing
+        is evictable -- the caller's request is refusable, the snapshot
+        stays on disk for a retry.
+        """
+        if self.store is None:
+            return None
+        snapshot = self.store.load(name)
+        if snapshot is None:
+            return None
+        try:
+            lang = (
+                get_language(snapshot.language)
+                if snapshot.language is not None
+                else Language.from_dsl(snapshot.grammar or "")
+            )
+        except Exception:
+            obs.incr("persist.rehydrate_errors")
+            return None
+        while len(self._sessions) >= self.max_sessions:
+            if not self._evict_one():
+                raise CapacityError(
+                    f"{len(self._sessions)} sessions open, none idle"
+                )
+        session = Session(
+            name,
+            lang,
+            engine=snapshot.engine,
+            balanced=snapshot.balanced,
+            queue_limit=self.queue_limit,
+            debounce=self.debounce,
+            on_flush=self._after_flush,
+            on_persist=self._persist_session,
+        )
+        session.language_label = snapshot.language or "<inline>"
+        session.grammar_source = snapshot.grammar
+        with obs.span("persist.rehydrate", doc=name):
+            session.restore_from(snapshot)
+        self._sessions[name] = session
+        self.counts["rehydrated"] += 1
+        obs.incr("service.rehydrated")
+        obs.set_gauge("service.sessions", len(self._sessions))
+        return session
 
     def resident_nodes(self) -> int:
         return sum(s.resident_nodes() for s in self._sessions.values())
@@ -194,6 +331,7 @@ class SessionManager:
             "resident_nodes": self.resident_nodes(),
             "counters": totals,
             "coalesce_ratio": (received / applied) if applied else None,
+            "persist": self.store.stats() if self.store is not None else None,
             "obs_counters": obs.counters() if obs.enabled() else {},
             "obs_gauges": obs.gauges() if obs.enabled() else {},
         }

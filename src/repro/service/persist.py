@@ -1,0 +1,339 @@
+"""Durable session snapshots: crash-safe persistence for the service.
+
+A process restart -- deploy, OOM eviction, ``kill -9`` -- must be just
+another disruption whose repair cost is bounded by the change, not the
+document (Wiren's bounded-incremental-parsing framing).  This module
+gives the session pool that property:
+
+* a :class:`SessionSnapshot` is the compact durable form of one open
+  session: the authoritative text, the committed document version, the
+  language identity (built-in name or inline grammar-DSL source, plus
+  the parse-table fingerprint the shared table cache warms from), the
+  *coalesced journal tail* -- edit specs that transform the committed
+  text into the authoritative text -- and the degradation-ladder state.
+  When the committed parse DAG is healthy it rides along as a pickled
+  payload, so rehydration replays one incremental pass over the journal
+  tail instead of a batch reparse;
+* a :class:`SnapshotStore` owns one directory of snapshot files.  Every
+  write is atomic (temp file + ``os.replace``, the same discipline as
+  `repro.tables.cache`), every read is verified (magic, format version,
+  length, content digest) and a file that fails verification --
+  truncated, version-mismatched, or garbage -- is *quarantined*: renamed
+  aside, counted, and treated as a miss, never an exception.  A corrupt
+  snapshot therefore costs one cold session, not a crashed service.
+
+Crash points cover every transition (serialize, write, publish, load,
+quarantine, rehydrate), so the fault suite can kill the process at any
+of them and assert recovery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .. import obs
+from ..testing.faults import crash_point, register_points
+from .protocol import EditSpec
+
+register_points(**{
+    "persist:serialize": "session snapshot about to be pickled",
+    "persist:write": "snapshot bytes written to the temp file",
+    "persist:publish": "temp file about to be atomically renamed",
+    "persist:load": "snapshot file about to be read and verified",
+    "persist:quarantine": "corrupt snapshot about to be renamed aside",
+    "persist:delete": "snapshot about to be removed",
+})
+
+# Bytes identifying a snapshot file; changing the layout bumps FORMAT.
+MAGIC = b"REPROSNAP"
+FORMAT = 1
+
+# MAGIC + format (u32) + payload length (u64) + sha256 digest.
+_HEADER = struct.Struct(f"<{len(MAGIC)}sIQ32s")
+
+# Parent-linked parse DAGs pickle recursively; give deep (unbalanced)
+# trees headroom instead of letting RecursionError degrade the snapshot.
+_PICKLE_RECURSION = 100_000
+
+
+@dataclass
+class SessionSnapshot:
+    """Everything needed to resurrect one session in a fresh process."""
+
+    name: str
+    language: str | None  # built-in language name, or None for inline
+    grammar: str | None  # inline grammar-DSL source, or None for built-in
+    engine: str
+    balanced: bool
+    text: str  # authoritative (client-equal) text
+    base_text: str  # committed text the doc payload corresponds to
+    journal_tail: list[tuple[int, int, str]]  # base_text -> text
+    version: int
+    table_key: str  # parse-table cache fingerprint (warm-start identity)
+    version_opened: bool
+    counts: dict[str, int] = field(default_factory=dict)
+    doc_payload: dict | None = None  # Document.snapshot_state(), if healthy
+
+    def tail_specs(self) -> list[EditSpec]:
+        return [EditSpec(at, remove, insert)
+                for at, remove, insert in self.journal_tail]
+
+
+class SnapshotStore:
+    """One directory of verified, atomically-published session snapshots."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.counts = {
+            "saves": 0,
+            "save_errors": 0,
+            "save_degraded": 0,  # doc payload dropped to keep the save
+            "loads": 0,
+            "misses": 0,
+            "quarantined": 0,
+            "deletes": 0,
+        }
+
+    # -- naming ---------------------------------------------------------------
+
+    def path_for(self, name: str) -> Path:
+        """Snapshot file for a session name (names are arbitrary strings)."""
+        digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:32]
+        return self.directory / f"{digest}.snap"
+
+    # -- save -----------------------------------------------------------------
+
+    def save(self, snapshot: SessionSnapshot) -> int:
+        """Atomically publish a snapshot; returns the byte size.
+
+        Raises on I/O failure -- callers on the request path guard and
+        count, because a full or read-only state directory must never
+        fail a batch.
+        """
+        with obs.span("persist.save", doc=snapshot.name):
+            try:
+                size = self._save_inner(snapshot)
+            except Exception:
+                self.counts["save_errors"] += 1
+                obs.incr("persist.save_errors")
+                raise
+        self.counts["saves"] += 1
+        obs.incr("persist.saves")
+        obs.incr("persist.save_bytes", size)
+        return size
+
+    def _save_inner(self, snapshot: SessionSnapshot) -> int:
+        crash_point("persist:serialize")
+        payload = self._serialize(snapshot)
+        header = _HEADER.pack(
+            MAGIC, FORMAT, len(payload), hashlib.sha256(payload).digest()
+        )
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(header)
+                fh.write(payload)
+            crash_point("persist:write")
+            os.replace(tmp, self.path_for(snapshot.name))
+            crash_point("persist:publish")
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return len(header) + len(payload)
+
+    def _serialize(self, snapshot: SessionSnapshot) -> bytes:
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(limit, _PICKLE_RECURSION))
+        try:
+            try:
+                return pickle.dumps(snapshot, pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                if snapshot.doc_payload is None:
+                    raise
+                # An unpicklable tree must not lose the session: retry
+                # text-only, trading warm recovery for a batch rebuild.
+                snapshot.doc_payload = None
+                self.counts["save_degraded"] += 1
+                obs.incr("persist.save_degraded")
+                return pickle.dumps(snapshot, pickle.HIGHEST_PROTOCOL)
+        finally:
+            sys.setrecursionlimit(limit)
+
+    # -- load -----------------------------------------------------------------
+
+    def load(self, name: str) -> SessionSnapshot | None:
+        """Verified read; missing -> None, corrupt -> quarantined + None."""
+        path = self.path_for(name)
+        with obs.span("persist.load", doc=name):
+            crash_point("persist:load")
+            try:
+                blob = path.read_bytes()
+            except FileNotFoundError:
+                self.counts["misses"] += 1
+                obs.incr("persist.misses")
+                return None
+            except OSError:
+                return self._quarantine(path, "unreadable")
+            snapshot = self._verify(path, blob)
+        if snapshot is not None:
+            self.counts["loads"] += 1
+            obs.incr("persist.loads")
+            if snapshot.name != name:
+                # Hash-prefix collision or a copied file: not this session.
+                return self._quarantine(path, "name-mismatch")
+        return snapshot
+
+    def _verify(self, path: Path, blob: bytes) -> SessionSnapshot | None:
+        if len(blob) < _HEADER.size:
+            return self._quarantine(path, "truncated")
+        magic, fmt, length, digest = _HEADER.unpack_from(blob)
+        if magic != MAGIC:
+            return self._quarantine(path, "garbage")
+        if fmt != FORMAT:
+            return self._quarantine(path, f"format v{fmt}")
+        payload = blob[_HEADER.size:]
+        if len(payload) != length:
+            return self._quarantine(path, "truncated")
+        if hashlib.sha256(payload).digest() != digest:
+            return self._quarantine(path, "digest mismatch")
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(limit, _PICKLE_RECURSION))
+        try:
+            snapshot = pickle.loads(payload)
+        except Exception:
+            return self._quarantine(path, "unpicklable")
+        finally:
+            sys.setrecursionlimit(limit)
+        if not isinstance(snapshot, SessionSnapshot):
+            return self._quarantine(path, "wrong type")
+        return snapshot
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Rename a bad file aside so it is kept for forensics, not retried."""
+        crash_point("persist:quarantine")
+        self.counts["quarantined"] += 1
+        obs.incr("persist.quarantined")
+        try:
+            os.replace(path, path.with_suffix(".snap.bad"))
+        except OSError:
+            pass  # already gone, or directory read-only: miss either way
+        return None
+
+    # -- maintenance ----------------------------------------------------------
+
+    def delete(self, name: str) -> bool:
+        """Drop a session's snapshot (close, or open-over with fresh text)."""
+        crash_point("persist:delete")
+        try:
+            self.path_for(name).unlink()
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+        self.counts["deletes"] += 1
+        obs.incr("persist.deletes")
+        return True
+
+    def entries(self) -> list[dict]:
+        """One descriptor per snapshot file (``repro sessions --list``).
+
+        Listing is read-only: a corrupt file is reported, not
+        quarantined -- quarantine happens on the load path where a
+        session's recovery actually depends on the bytes.
+        """
+        out = []
+        for path in sorted(self.directory.glob("*.snap")):
+            stat = path.stat()
+            entry = {
+                "file": path.name,
+                "bytes": stat.st_size,
+                "mtime": stat.st_mtime,
+            }
+            try:
+                snapshot = self._peek(path)
+            except Exception:
+                snapshot = None
+            if snapshot is None:
+                entry["corrupt"] = True
+            else:
+                entry.update(
+                    name=snapshot.name,
+                    language=snapshot.language or "<inline>",
+                    engine=snapshot.engine,
+                    version=snapshot.version,
+                    text_bytes=len(snapshot.text),
+                    journal_edits=len(snapshot.journal_tail),
+                    warm=snapshot.doc_payload is not None,
+                )
+            out.append(entry)
+        return out
+
+    def quarantined_files(self) -> list[Path]:
+        return sorted(self.directory.glob("*.bad"))
+
+    def _peek(self, path: Path) -> SessionSnapshot | None:
+        """Verification-only read that never renames anything."""
+        blob = path.read_bytes()
+        if len(blob) < _HEADER.size:
+            return None
+        magic, fmt, length, digest = _HEADER.unpack_from(blob)
+        payload = blob[_HEADER.size:]
+        if (
+            magic != MAGIC
+            or fmt != FORMAT
+            or len(payload) != length
+            or hashlib.sha256(payload).digest() != digest
+        ):
+            return None
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(limit, _PICKLE_RECURSION))
+        try:
+            snapshot = pickle.loads(payload)
+        finally:
+            sys.setrecursionlimit(limit)
+        return snapshot if isinstance(snapshot, SessionSnapshot) else None
+
+    def gc(self, max_age_seconds: float | None = None, *,
+           now: float | None = None) -> dict:
+        """Remove quarantined files, and snapshots older than ``max_age``."""
+        import time
+
+        now = time.time() if now is None else now
+        removed_bad = removed_old = 0
+        for path in self.quarantined_files():
+            try:
+                path.unlink()
+                removed_bad += 1
+            except OSError:
+                pass
+        if max_age_seconds is not None:
+            for path in list(self.directory.glob("*.snap")):
+                try:
+                    if now - path.stat().st_mtime > max_age_seconds:
+                        path.unlink()
+                        removed_old += 1
+                except OSError:
+                    pass
+        return {"quarantined_removed": removed_bad, "expired_removed": removed_old}
+
+    def stats(self) -> dict:
+        snaps = list(self.directory.glob("*.snap"))
+        return {
+            "dir": str(self.directory),
+            "format": FORMAT,
+            "snapshots": len(snaps),
+            "bytes": sum(p.stat().st_size for p in snaps),
+            "quarantined_files": len(self.quarantined_files()),
+            **self.counts,
+        }

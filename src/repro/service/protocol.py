@@ -14,10 +14,11 @@ Requests::
      "defer": false, "echo_text": true}
     {"op": "parse", "id": 3, "doc": "a.calc"}
     {"op": "query", "id": 4, "doc": "a.calc"}
-    {"op": "close", "id": 5, "doc": "a.calc"}
-    {"op": "stats", "id": 6}
-    {"op": "ping",  "id": 7}
-    {"op": "shutdown", "id": 8}
+    {"op": "snapshot", "id": 5, "doc": "a.calc"}
+    {"op": "close", "id": 6, "doc": "a.calc"}
+    {"op": "stats", "id": 7}
+    {"op": "ping",  "id": 8}
+    {"op": "shutdown", "id": 9}
 
 Replies are ``{"id": ..., "ok": true, ...fields}`` or
 ``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``.
@@ -25,6 +26,15 @@ Error codes are the :data:`E_*` constants below; ``backpressure`` and
 ``timeout`` are *flow-control* replies, not failures -- the session is
 healthy and the client should retry (``backpressure``) or expect the
 work to land later (``timeout`` with ``"pending": true``).
+
+**Recovery status.**  When the server runs with a state directory, a
+session op whose ``doc`` was evicted or lost to a restart may be
+answered by a lazily *rehydrated* session; such replies carry
+``"rehydrated": true`` so clients can differentially verify their
+buffer (``sha256``) against the recovered text.  ``snapshot`` forces a
+durable snapshot now and replies with ``"persisted": true/false``;
+``no-session`` then means genuinely unknown -- never opened, closed, or
+evicted with no snapshot to recover from.
 
 **Edit coalescing algebra.**  An :class:`EditSpec` is one textual
 splice; a list of specs is applied *sequentially* (each offset is

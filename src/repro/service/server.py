@@ -20,11 +20,13 @@ the analysis is in.
 from __future__ import annotations
 
 import asyncio
+import os
 import sys
 
 from .. import obs
 from ..langs import language_names
 from .manager import CapacityError, SessionManager
+from .persist import SnapshotStore
 from .protocol import (
     E_CAPACITY,
     E_EXISTS,
@@ -40,7 +42,7 @@ from .protocol import (
     ok_reply,
 )
 
-SESSION_OPS = {"edit", "parse", "query", "close"}
+SESSION_OPS = {"edit", "parse", "query", "snapshot", "close"}
 
 
 class AnalysisService:
@@ -54,12 +56,15 @@ class AnalysisService:
         queue_limit: int = 64,
         debounce: float = 0.0,
         request_timeout: float = 30.0,
+        state_dir: str | os.PathLike | None = None,
     ) -> None:
+        self.store = SnapshotStore(state_dir) if state_dir else None
         self.manager = SessionManager(
             max_sessions=max_sessions,
             max_resident_nodes=max_resident_nodes,
             queue_limit=queue_limit,
             debounce=debounce,
+            store=self.store,
         )
         self.request_timeout = request_timeout
         self.requests = 0
@@ -133,14 +138,31 @@ class AnalysisService:
         name = request.get("doc")
         if not isinstance(name, str):
             raise ProtocolError(f"{op} needs a string 'doc'")
+        rehydrated = False
         try:
             session = self.manager.get(name)
         except KeyError:
-            return error_reply(
-                rid,
-                E_NO_SESSION,
-                f"no session {name!r} (never opened, closed, or evicted)",
-            )
+            # Unknown name: maybe an evicted (or pre-restart) session
+            # with a durable snapshot -- resurrect it lazily and let the
+            # request proceed as if nothing happened.
+            try:
+                session = self.manager.rehydrate(name)
+            except CapacityError as error:
+                return error_reply(rid, E_CAPACITY, str(error))
+            except Exception as error:
+                return error_reply(
+                    rid,
+                    E_NO_SESSION,
+                    f"session {name!r} failed to rehydrate: {error}",
+                )
+            if session is None:
+                return error_reply(
+                    rid,
+                    E_NO_SESSION,
+                    f"no session {name!r} (never opened, closed, or evicted"
+                    " without a snapshot)",
+                )
+            rehydrated = True
         echo = bool(request.get("echo_text"))
         if op == "edit":
             raw = request.get("edits")
@@ -153,14 +175,22 @@ class AnalysisService:
             if request.get("defer"):
                 # Deferred edits are answered at the next flush; do not
                 # start the timeout clock on an intentionally open batch.
-                return await future
+                reply = await future
+                return self._tag(reply, rehydrated)
         else:
             future = session.submit_op(op, rid, echo_text=echo)
             if op == "close":
                 reply = await self._await_reply(future, rid)
                 self.manager.close(name)
-                return reply
-        return await self._await_reply(future, rid)
+                return self._tag(reply, rehydrated)
+        reply = await self._await_reply(future, rid)
+        return self._tag(reply, rehydrated)
+
+    @staticmethod
+    def _tag(reply: dict, rehydrated: bool) -> dict:
+        if rehydrated:
+            reply["rehydrated"] = True
+        return reply
 
     async def _await_reply(self, future: asyncio.Future, rid: object) -> dict:
         if self.request_timeout is None or self.request_timeout <= 0:
@@ -168,6 +198,13 @@ class AnalysisService:
         try:
             return await asyncio.wait_for(future, self.request_timeout)
         except asyncio.TimeoutError:
+            # wait_for cancels the future *unless* it completed in the
+            # same tick the deadline fired -- a worker that answered
+            # just-too-late raced the clock.  Salvage that reply instead
+            # of discarding it, and count the timeout exactly once.
+            if future.done() and not future.cancelled():
+                obs.incr("service.late_replies")
+                return future.result()
             self.timeouts += 1
             obs.incr("service.timeouts")
             return error_reply(
@@ -179,7 +216,7 @@ class AnalysisService:
             )
 
     async def aclose(self) -> None:
-        self.manager.close_all()
+        self.manager.close_all(snapshot=True)
 
     # -- transports -----------------------------------------------------------
 
@@ -290,12 +327,16 @@ class AnalysisService:
 
 def serve(args) -> int:
     """``repro serve`` entry point (see `repro.cli`)."""
+    state_dir = getattr(args, "state_dir", None) or os.environ.get(
+        "REPRO_STATE_DIR"
+    )
     service = AnalysisService(
         max_sessions=args.max_sessions,
         max_resident_nodes=args.max_nodes,
         queue_limit=args.queue_limit,
         debounce=args.debounce_ms / 1e3,
         request_timeout=args.timeout,
+        state_dir=state_dir,
     )
     if args.tcp:
         host, _, port = args.tcp.rpartition(":")

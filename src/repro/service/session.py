@@ -42,6 +42,21 @@ target text, by the cheapest rung that works:
 
 A session can therefore be *poisoned* (rung 3) but never *wedged*: no
 exception escapes the worker, and recovery needs no operator action.
+
+Durability
+----------
+
+Every accepted edit is also appended to a *pending journal* -- seq-tagged
+spec lists transforming ``flushed_text`` (the last text the document
+committed) into ``shadow_text``.  A successful flush advances
+``flushed_text`` and drops the covered entries; a rung-3 failure leaves
+them pending, so the journal stays exact across degradation.
+:meth:`Session.make_snapshot` captures ``(text, version, journal tail,
+pickled committed DAG when healthy)`` and :meth:`Session.restore_from`
+replays the tail over the restored DAG -- one incremental pass -- with a
+text-only batch-rebuild fallback at every failure point.  The
+``on_persist`` hook (wired by the manager to the snapshot store) runs
+*before* replies resolve, so an acked batch is a persisted batch.
 """
 
 from __future__ import annotations
@@ -51,8 +66,10 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..language import Language
-from ..testing.faults import crash_point
+from ..tables.cache import grammar_fingerprint
+from ..testing.faults import crash_point, register_points
 from ..versioned.document import Document
+from .persist import SessionSnapshot
 from .protocol import (
     E_ANALYSIS,
     E_BACKPRESSURE,
@@ -65,12 +82,21 @@ from .protocol import (
     text_digest,
 )
 
+register_points(**{
+    "service:batch-start": "flush entered, nothing applied yet",
+    "service:before-parse": "edits applied, incremental parse next",
+    "service:rebuild": "ladder rung 2: batch reparse of the target text",
+    "persist:capture": "session state about to be captured as a snapshot",
+    "persist:rehydrate": "snapshot about to be restored into a session",
+    "persist:rehydrate-parse": "journal tail applied; incremental pass next",
+})
+
 
 @dataclass
 class _Work:
     """One queued request: what to do, and whom to answer."""
 
-    kind: str  # "edits" | "parse" | "query" | "close"
+    kind: str  # "edits" | "parse" | "query" | "snapshot" | "close"
     rid: object
     future: asyncio.Future
     specs: list[EditSpec] = field(default_factory=list)
@@ -78,6 +104,7 @@ class _Work:
     echo_text: bool = False
     base: str = ""  # shadow text before this item's specs
     target: str = ""  # shadow text after this item's specs
+    seq: int = 0  # journal sequence this item is ordered after
 
 
 def _resolve(work: _Work, reply: dict) -> None:
@@ -99,6 +126,7 @@ class Session:
         queue_limit: int = 64,
         debounce: float = 0.0,
         on_flush=None,
+        on_persist=None,
     ) -> None:
         self.name = name
         self.language = language
@@ -120,6 +148,16 @@ class Session:
         self._gate = asyncio.Event()  # cleared = paused (tests/ops seam)
         self._gate.set()
         self._on_flush = on_flush  # manager hook: resident accounting
+        self._on_persist = on_persist  # manager hook: durable snapshot
+        # Journal tail: seq-tagged spec lists transforming flushed_text
+        # (the text the document last committed) into shadow_text.
+        self.flushed_text = ""
+        self.pending_specs: list[tuple[int, list[EditSpec]]] = []
+        self._seq = 0
+        self._parked = False  # worker awaiting input with a deferred batch
+        self._persist_marker = None  # manager's last-saved dedup key
+        self.restored = False  # session came back from a snapshot
+        self.grammar_source: str | None = None  # inline DSL (manager sets)
         # Per-session work counters, kept unconditionally (obs may be
         # off); mirrored into obs.* so traces see them too.
         self.counts = {
@@ -140,6 +178,16 @@ class Session:
         """No queued or in-flight work: safe to evict."""
         return self.queue.empty() and not self.busy
 
+    @property
+    def quiesced(self) -> bool:
+        """Safe to snapshot: idle, or parked awaiting a deferred batch.
+
+        A parked worker holds accepted-but-unflushed edits -- all of them
+        already in ``shadow_text`` and the pending journal, so a snapshot
+        taken now captures exactly the client's view.
+        """
+        return (not self.busy) or self._parked
+
     def pause(self) -> None:
         """Hold the worker before its next batch (tests, drains)."""
         self._gate.clear()
@@ -150,14 +198,19 @@ class Session:
     def open_with(self, text: str, rid: object) -> asyncio.Future:
         """Queue the initial parse; the reply mirrors an edit reply."""
         self.shadow_text = text
+        self._seq += 1
         work = _Work(
             "edits",
             rid,
             asyncio.get_running_loop().create_future(),
             base=text,
             target=text,
+            seq=self._seq,
         )
-        return self._enqueue(work)
+        future = self._enqueue(work)
+        if not future.done():
+            self.pending_specs.append((work.seq, [EditSpec(0, 0, text)]))
+        return future
 
     def submit_edits(
         self,
@@ -176,6 +229,7 @@ class Session:
         except ValueError as error:
             future.set_result(error_reply(rid, E_EDIT, str(error)))
             return future
+        self._seq += 1
         work = _Work(
             "edits",
             rid,
@@ -185,10 +239,12 @@ class Session:
             echo_text=echo_text,
             base=base,
             target=text,
+            seq=self._seq,
         )
         future = self._enqueue(work)
         if not future.done():  # accepted: the edits are now authoritative
             self.shadow_text = text
+            self.pending_specs.append((work.seq, list(specs)))
             self.counts["edits_received"] += len(specs)
             obs.incr("service.edits_received", len(specs))
         return future
@@ -196,7 +252,7 @@ class Session:
     def submit_op(
         self, kind: str, rid: object, *, echo_text: bool = False
     ) -> asyncio.Future:
-        """Queue a parse / query / close, ordered after pending edits."""
+        """Queue a parse / query / snapshot / close, ordered after edits."""
         work = _Work(
             kind,
             rid,
@@ -204,6 +260,7 @@ class Session:
             echo_text=echo_text,
             base=self.shadow_text,
             target=self.shadow_text,
+            seq=self._seq,
         )
         return self._enqueue(work)
 
@@ -301,7 +358,14 @@ class Session:
                     nxt = self.queue.get_nowait()
                 except asyncio.QueueEmpty:
                     if batch[-1].defer:
-                        nxt = await self.queue.get()
+                        # Parked: every accepted edit is in shadow_text
+                        # and the journal, so the session is snapshot-
+                        # safe (and forcibly evictable) while we wait.
+                        self._parked = True
+                        try:
+                            nxt = await self.queue.get()
+                        finally:
+                            self._parked = False
                     elif self.debounce > 0:
                         try:
                             nxt = await asyncio.wait_for(
@@ -378,6 +442,12 @@ class Session:
             self.counts["degraded"] += 1
             obs.incr("service.degraded")
         self.version_opened = True
+        self._advance_journal(batch[-1].seq, target)
+        if self._on_persist is not None:
+            # Write-ahead: persist before replies resolve, so an acked
+            # batch is a persisted batch (the kill -9 suite relies on
+            # recovered text being the last acked or last sent text).
+            self._on_persist(self)
         fields = self._state_fields()
         fields.update(
             batched=len(batch),
@@ -425,6 +495,13 @@ class Session:
                 ),
             )
 
+    def _advance_journal(self, seq: int, target: str) -> None:
+        """A flush landed on ``target``: drop the journal it covered."""
+        self.flushed_text = target
+        self.pending_specs = [
+            entry for entry in self.pending_specs if entry[0] > seq
+        ]
+
     def _handle(self, work: _Work) -> bool:
         """A non-edit op; pending edits have already been flushed."""
         if work.kind == "close":
@@ -443,7 +520,14 @@ class Session:
             ):
                 self._rebuild(work.target)
                 self.version_opened = True
-            if work.kind == "parse":
+                self._advance_journal(work.seq, work.target)
+            if work.kind == "snapshot":
+                persisted = False
+                if self._on_persist is not None:
+                    persisted = bool(self._on_persist(self, force=True))
+                fields = self._state_fields()
+                fields["persisted"] = persisted
+            elif work.kind == "parse":
                 report = self.doc.parse()
                 self.counts["parses"] += 1
                 fields = self._state_fields()
@@ -471,6 +555,8 @@ class Session:
                 ),
             )
             return False
+        if self._on_persist is not None:
+            self._on_persist(self)  # marker-deduped: no-op when unchanged
         reply = ok_reply(work.rid, **fields)
         if work.echo_text:
             reply["text"] = self.doc.text
@@ -486,6 +572,111 @@ class Session:
             "tokens": len(self.doc.tokens),
             "sha256": text_digest(self.doc.text),
         }
+
+    # -- durability -----------------------------------------------------------
+
+    def make_snapshot(self) -> SessionSnapshot:
+        """Capture the session's durable form.
+
+        The journal tail (``flushed_text`` -> ``shadow_text``) is
+        verified by replay before it is trusted; the pickled document
+        payload rides along only when the committed DAG exactly matches
+        ``flushed_text``.  Any inconsistency degrades to an insert-all
+        snapshot -- robustness never depends on the warm path.
+        """
+        crash_point("persist:capture")
+        base_text = self.flushed_text
+        tail = [
+            (spec.at, spec.remove, spec.insert)
+            for _seq, specs in self.pending_specs
+            for spec in specs
+        ]
+        doc_payload = None
+        if (
+            self.doc is not None
+            and not self.doc.dirty
+            and self.doc.text == base_text
+        ):
+            doc_payload = self.doc.snapshot_state()
+        if doc_payload is None:
+            # No healthy committed DAG to replay against: collapse the
+            # journal so rehydration is one batch parse of the text.
+            base_text, tail = "", [(0, 0, self.shadow_text)]
+        else:
+            text = base_text
+            try:
+                for at, remove, insert in tail:
+                    text = EditSpec(at, remove, insert).apply(text)
+            except ValueError:
+                text = None
+            if text != self.shadow_text:
+                obs.incr("persist.capture_fallback")
+                base_text, tail = "", [(0, 0, self.shadow_text)]
+                doc_payload = None
+        label = self.language_label
+        inline = label == "<inline>"
+        return SessionSnapshot(
+            name=self.name,
+            language=None if inline else label,
+            grammar=self.grammar_source if inline else None,
+            engine=self.engine,
+            balanced=self.balanced,
+            text=self.shadow_text,
+            base_text=base_text,
+            journal_tail=tail,
+            version=self.doc.version if self.doc is not None else 0,
+            table_key=grammar_fingerprint(
+                self.language.grammar, self.language.table.method, True
+            ),
+            version_opened=self.version_opened,
+            counts=dict(self.counts),
+            doc_payload=doc_payload,
+        )
+
+    def restore_from(self, snapshot: SessionSnapshot) -> None:
+        """Rehydrate from a snapshot: one incremental pass, not a rebuild.
+
+        Restores the committed DAG, replays the journal tail, and runs a
+        single incremental parse.  *Any* failure falls back to text-only
+        state -- the next request's flush finds ``doc is None`` and runs
+        the ordinary degradation ladder, so a bad payload costs a batch
+        reparse, never a crash.  Counters restart at zero (the manager's
+        retirement accounting already folded the old life in).
+        """
+        crash_point("persist:rehydrate")
+        self.shadow_text = snapshot.text
+        self.version_opened = snapshot.version_opened
+        self.restored = True
+        doc = None
+        if snapshot.doc_payload is not None:
+            try:
+                doc = Document.restore_state(
+                    self.language, snapshot.doc_payload
+                )
+                for spec in snapshot.tail_specs():
+                    doc.edit(spec.at, spec.remove, spec.insert)
+                crash_point("persist:rehydrate-parse")
+                if doc.dirty:
+                    doc.parse()
+                if doc.text != snapshot.text:
+                    raise ValueError(
+                        "rehydrated text diverges from snapshot text"
+                    )
+            except Exception:
+                doc = None
+        if doc is not None:
+            self.doc = doc
+            self.flushed_text = doc.text
+            self.pending_specs = []
+            obs.incr("persist.rehydrate_incremental")
+        else:
+            self.doc = None
+            self.flushed_text = ""
+            self._seq += 1
+            self.pending_specs = [
+                (self._seq, [EditSpec(0, 0, snapshot.text)])
+            ]
+            obs.incr("persist.rehydrate_rebuild")
 
     # -- introspection --------------------------------------------------------
 
@@ -503,5 +694,10 @@ class Session:
             "resident_nodes": self.resident_nodes(),
             "queue_depth": self.queue.qsize(),
             "busy": self.busy,
+            "quiesced": self.quiesced,
+            "restored": self.restored,
+            "journal_edits": sum(
+                len(specs) for _seq, specs in self.pending_specs
+            ),
             "counts": dict(self.counts),
         }

@@ -8,19 +8,25 @@ load.
 """
 
 from .faults import (
+    CRASH_ENV,
     FaultPlan,
     InjectedFault,
     crash_point,
     inject,
     observed_points,
     random_edit,
+    register_points,
+    registered_points,
 )
 
 __all__ = [
+    "CRASH_ENV",
     "FaultPlan",
     "InjectedFault",
     "crash_point",
     "inject",
     "observed_points",
     "random_edit",
+    "register_points",
+    "registered_points",
 ]

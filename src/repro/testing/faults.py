@@ -23,6 +23,24 @@ records every point it passes (see :func:`observed_points`), so the
 test suite enumerates injection points instead of hard-coding a list
 that silently goes stale.
 
+**Crash-point registry.**  Every instrumented module *declares* its
+points at import time via :func:`register_points` (name plus a one-line
+description).  The registry backs ``repro faults --list`` and the
+coverage gate in the fault suite: a test enumerates every registered
+name and fails when one is not exercised by any fault-suite driver, so
+new points cannot silently rot untested.  Points first seen at runtime
+(a :func:`crash_point` call whose name was never declared) are
+registered on the spot, which makes the same gate catch *undeclared*
+points too.
+
+**Hard kills.**  ``REPRO_CRASH_AT=point[:after]`` in the environment
+arms a *process kill* instead of an exception: the (after+1)-th arrival
+at the named point delivers ``SIGKILL`` to the current process -- no
+exception propagation, no ``finally`` blocks, no atexit -- the closest
+in-process approximation of ``kill -9``.  The crash-safe persistence
+suite uses it to murder a live ``repro serve`` at every registered
+point on the snapshot path and assert the restarted service recovers.
+
 **Randomized edit scripts.**  :func:`random_edit` produces one
 (offset, remove, insert) triple from a seeded :class:`random.Random`,
 drawing inserts from a caller-provided snippet alphabet; fuzz suites
@@ -32,10 +50,14 @@ syntactically invalid states.
 
 from __future__ import annotations
 
+import os
+import signal
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from random import Random
 from typing import Iterator, Sequence
+
+CRASH_ENV = "REPRO_CRASH_AT"
 
 
 class InjectedFault(RuntimeError):
@@ -70,6 +92,10 @@ class FaultPlan:
     def visit(self, name: str) -> None:
         count = self.hits.get(name, 0)
         self.hits[name] = count + 1
+        if name not in _registry:
+            # A point exercised at runtime but never declared: register
+            # it so the coverage gate sees (and polices) it.
+            _registry[name] = "(undeclared; registered at first visit)"
         if name in self._armed and count >= self.after:
             raise InjectedFault(f"injected fault at {name!r} (hit {count + 1})")
 
@@ -78,11 +104,74 @@ class FaultPlan:
 # load when faults are off; tests install/remove plans via inject().
 _active: FaultPlan | None = None
 
+# Registered crash points: name -> one-line description.  Instrumented
+# modules populate it at import time; `repro faults --list` and the
+# fault-suite coverage gate read it.
+_registry: dict[str, str] = {}
+
+
+def register_points(**points: str) -> None:
+    """Declare crash points (``name="description"``) at import time.
+
+    Point names contain ``:`` so they arrive as a dict: call with
+    ``register_points(**{"commit:start": "..."})``.  Re-registration
+    overwrites the description (idempotent across reimports).
+    """
+    _registry.update(points)
+
+
+def registered_points() -> dict[str, str]:
+    """Every declared (or runtime-discovered) point, name -> description."""
+    return dict(_registry)
+
+
+class _HardKill:
+    """``REPRO_CRASH_AT``: SIGKILL the process at a named point."""
+
+    __slots__ = ("name", "remaining")
+
+    def __init__(self, spec: str) -> None:
+        # Point names contain ":" ("persist:write"), so only a trailing
+        # *numeric* segment is the arrival count: "persist:write:2".
+        name, _, after = spec.rpartition(":")
+        if name and after.isdigit():
+            self.name = name
+            self.remaining = int(after)
+        else:
+            self.name = spec
+            self.remaining = 0
+
+    def visit(self, name: str) -> None:
+        if name != self.name:
+            return
+        if self.remaining > 0:
+            self.remaining -= 1
+            return
+        # The real thing, not sys.exit: no exception unwinding, no
+        # finally blocks, no atexit hooks, no flushed buffers.
+        os.kill(os.getpid(), signal.SIGKILL)
+        os._exit(137)  # pragma: no cover - unreachable fallback
+
+
+def _hard_kill_from_env() -> _HardKill | None:
+    spec = os.environ.get(CRASH_ENV, "").strip()
+    if not spec:
+        return None
+    try:
+        return _HardKill(spec)
+    except ValueError:
+        return None
+
+
+_hard_kill: _HardKill | None = _hard_kill_from_env()
+
 
 def crash_point(name: str) -> None:
     """Declare an injectable crash site.  No-op unless a plan is armed."""
     if _active is not None:
         _active.visit(name)
+    if _hard_kill is not None:
+        _hard_kill.visit(name)
 
 
 @contextmanager

@@ -41,12 +41,25 @@ from ..parser.iglr import IGLRParser, ParseError, ParseResult, ParseStats
 from ..parser.incremental_lr import IncrementalLRParser
 from ..parser.input_stream import InputStream
 from ..parser.plan import ParsePlan
-from ..testing.faults import crash_point
+from ..testing.faults import crash_point, register_points
 from .transactions import (
     Transaction,
     begin_transaction,
     resolve_transaction_mode,
 )
+
+register_points(**{
+    "commit:start": "commit pipeline entered, nothing written yet",
+    "commit:adopted": "new nodes have adopted their kids",
+    "commit:collapsed": "sequence spines collapsed to balanced form",
+    "commit:rooted": "new root installed, parents re-adopted",
+    "commit:registry": "token-node registry rebuilt",
+    "recover:after-revert": "one edit reverted during history-sensitive recovery",
+    "recover:before-commit": "reverted prefix parses, about to re-incorporate",
+    "isolate:reparse": "panic-mode tolerant reparse about to run",
+    "persist:doc-capture": "document snapshot payload being assembled",
+    "persist:doc-restore": "document state being rebuilt from a payload",
+})
 
 
 @dataclass(frozen=True)
@@ -554,6 +567,74 @@ class Document:
             count = measure_space(self.tree).nodes
             self._node_count = (self.version, count)
         return count
+
+    # -- persistence ----------------------------------------------------------
+
+    def snapshot_state(self) -> dict | None:
+        """Picklable payload of the committed state, or None.
+
+        The payload carries no :class:`~repro.language.Language`
+        reference (languages are rebuilt from their name or DSL source
+        on restore, warm-started by the parse-table cache) and only
+        describes a *committed* version: a dirty document -- text ahead
+        of the tree -- returns None and the caller falls back to a
+        text-only snapshot.  Tokens, terminal nodes, and the tree share
+        object identity inside one payload, so a single pickle of the
+        returned dict preserves the identity structure the incremental
+        parser depends on.
+        """
+        if self.tree is None or self.dirty:
+            return None
+        crash_point("persist:doc-capture")
+        nodes = []
+        for token in self.tokens:
+            entry = self._token_nodes.get(id(token))
+            if entry is None:
+                return None  # registry out of step: refuse, don't guess
+            nodes.append(entry[1])
+        return {
+            "text": self.text,
+            "version": self.version,
+            "engine": self.engine_name,
+            "balanced": self.balanced_sequences,
+            "error_count": self._error_count,
+            "tree": self.tree,
+            "tokens": self.tokens,
+            "nodes": nodes,
+        }
+
+    @classmethod
+    def restore_state(cls, language: Language, payload: dict) -> "Document":
+        """Rebuild a committed document from :meth:`snapshot_state`.
+
+        The restored document is immediately parseable: the next
+        :meth:`edit` + :meth:`parse` runs the ordinary incremental
+        pipeline against the unpickled tree, so recovery cost after a
+        process restart is one incremental pass over whatever changed,
+        not a batch reparse.
+        """
+        crash_point("persist:doc-restore")
+        doc = cls(
+            language,
+            payload["text"],
+            engine=payload["engine"],
+            balanced_sequences=payload["balanced"],
+        )
+        tree = payload["tree"]
+        if not isinstance(tree, ProductionNode) or len(tree.kids) != 3:
+            raise ValueError("snapshot payload has no well-formed root")
+        doc.tree = tree
+        doc.tokens = payload["tokens"]
+        doc._token_nodes = {
+            id(token): (token, node)
+            for token, node in zip(doc.tokens, payload["nodes"])
+        }
+        # Future commits wrap the body with the restored bos terminal,
+        # keeping the root's first kid stable across the restart.
+        doc._bos_node = tree.kids[0]
+        doc._error_count = payload["error_count"]
+        doc.version = payload["version"]
+        return doc
 
     def source_text(self) -> str:
         """Reconstruct text from the tree (must equal ``self.text``)."""
