@@ -10,10 +10,17 @@
 #                      disabled-observability overhead exceeds 3% of
 #                      per-edit latency, or if the analysis service
 #                      cannot hold 8 concurrent sessions with p95 edit
-#                      latency under the batch-reparse baseline
+#                      latency under the batch-reparse baseline; also
+#                      sweeps the sharded backend (--workers 2) and
+#                      fails if one sharded worker falls under 60% of
+#                      in-process throughput
 #   make serve-smoke - end-to-end analysis-service check: drives a
 #                      scripted session through `repro serve` over stdio
-#                      (examples/service_session.py)
+#                      (examples/service_session.py), then the same
+#                      script through the sharded backend (--workers 2)
+#   make shard-smoke - multi-process shard gate: dispatcher routing,
+#                      cross-process store locking, cache warm starts,
+#                      kill-a-worker recovery (the multiproc marker)
 #   make fault-smoke - crash-safety gate: the kill -9 recovery harness
 #                      (SIGKILL a live `repro serve --state-dir` at every
 #                      registered persistence crash point, restart,
@@ -25,7 +32,8 @@
 
 PY = PYTHONPATH=src python
 
-.PHONY: test smoke bench bench-smoke serve-smoke fault-smoke trace-demo
+.PHONY: test smoke bench bench-smoke serve-smoke fault-smoke shard-smoke \
+	trace-demo
 
 test:
 	$(PY) -m pytest -q
@@ -45,11 +53,15 @@ bench-smoke:
 		--out benchmarks/results/BENCH_incremental.json
 	$(PY) -m repro.bench.obs_overhead --check \
 		--out benchmarks/results/BENCH_obs_overhead.json
-	$(PY) -m repro.bench.service --smoke --check \
+	$(PY) -m repro.bench.service --smoke --check --workers 2 \
 		--out benchmarks/results/BENCH_service.json
 
 serve-smoke:
 	$(PY) examples/service_session.py
+	$(PY) examples/service_session.py --workers 2
+
+shard-smoke:
+	$(PY) -m pytest -q -m multiproc tests/service
 
 trace-demo:
 	REPRO_TRACE=benchmarks/results/TRACE_demo.jsonl $(PY) -m repro \

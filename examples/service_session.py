@@ -5,7 +5,9 @@ Spawns ``repro serve`` as a subprocess, drives one editing session over
 the stdio JSON-lines protocol -- open, a coalescable burst of deferred
 edits, a query, stats, close, shutdown -- and checks every reply.  The
 same request/reply flow works over TCP (``repro serve --tcp :9178``);
-only the transport differs.
+only the transport differs.  ``--workers N`` drives the identical
+script through the sharded multi-process backend instead -- the client
+cannot tell the difference, which is the point.
 
 Run directly:  PYTHONPATH=src python examples/service_session.py
 """
@@ -21,7 +23,15 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="drive the sharded backend with N worker processes",
+    )
+    args = parser.parse_args(argv)
     requests = [
         {"op": "ping", "id": "hello"},
         {"op": "open", "id": "open", "doc": "demo.calc",
@@ -46,8 +56,11 @@ def main() -> int:
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
         "PYTHONPATH", ""
     )
+    command = [sys.executable, "-m", "repro", "serve"]
+    if args.workers > 1:
+        command += ["--workers", str(args.workers)]
     proc = subprocess.run(
-        [sys.executable, "-m", "repro", "serve"],
+        command,
         input="".join(json.dumps(r) + "\n" for r in requests),
         capture_output=True,
         text=True,

@@ -26,6 +26,18 @@ editor fleet would feel:
   batch reparse of the document, i.e. a process restart is cheaper than
   the full reparse it used to force.
 
+* **scaling figures** (``--workers N``): the same load replayed
+  *saturated* (no think time -- the only way CPU scaling is visible)
+  against the sharded :class:`~repro.service.pool.ShardDispatcher` at
+  1, 2, ... N worker processes, plus the in-process service as the
+  zero-workers point: throughput and p95 vs worker count.  The
+  acceptance bar: a single sharded worker must deliver >= 60% of the
+  in-process throughput under the identical load (the pipe + JSON
+  dispatch overhead is not allowed to eat the incremental win), and on
+  a machine with >= 4 cores, >= 4 workers must deliver >= 3x
+  single-worker throughput.  The speedup gate is skipped (and said so)
+  on smaller machines, where workers just time-slice one core.
+
 ``--smoke`` shrinks edit counts (CI); ``--check`` exits non-zero when
 the acceptance bar fails.
 """
@@ -36,6 +48,7 @@ import argparse
 import asyncio
 import gc
 import json
+import os
 import re
 import statistics
 import sys
@@ -85,11 +98,15 @@ async def _edit_loop(
     n_edits: int,
     seed: int,
     latencies: list[float],
+    think: tuple[float, float] | None = THINK,
 ) -> None:
     rng = Random(seed)
     # Random start phase: without it every session fires its first
     # gesture at t=0 and the convoy pollutes the latency tail.
-    await asyncio.sleep(rng.uniform(0, THINK[1]))
+    # ``think=None`` is saturated mode (the scaling sweep): every
+    # session offers load as fast as replies come back.
+    if think:
+        await asyncio.sleep(rng.uniform(0, think[1]))
     sent = 0
     while sent < n_edits:
         text, specs = _burst(rng, text, n_edits - sent)
@@ -114,15 +131,28 @@ async def _edit_loop(
             assert reply["ok"], reply
             latencies.append(elapsed)
         sent += len(specs)
-        await asyncio.sleep(rng.uniform(*THINK))
+        if think:
+            await asyncio.sleep(rng.uniform(*think))
 
 
 async def _run_load(
-    sessions: int, n_edits: int, text: str, service_kwargs: dict
+    sessions: int,
+    n_edits: int,
+    text: str,
+    service_kwargs: dict,
+    *,
+    workers: int = 0,
+    think: tuple[float, float] | None = THINK,
 ) -> dict:
-    from ..service.server import AnalysisService
+    if workers:
+        from ..service.pool import ShardDispatcher
 
-    service = AnalysisService(**service_kwargs)
+        service = ShardDispatcher(workers, **service_kwargs)
+        await service.start()
+    else:
+        from ..service.server import AnalysisService
+
+        service = AnalysisService(**service_kwargs)
     names = [f"doc{i}" for i in range(sessions)]
     for name in names:  # steady state first: every buffer open and parsed
         reply = await service.handle(
@@ -144,7 +174,10 @@ async def _run_load(
     try:
         await asyncio.gather(
             *(
-                _edit_loop(service, name, text, n_edits, 1000 + i, latencies)
+                _edit_loop(
+                    service, name, text, n_edits, 1000 + i, latencies,
+                    think=think,
+                )
                 for i, name in enumerate(names)
             )
         )
@@ -167,6 +200,7 @@ async def _run_load(
 
     counters = stats["counters"]
     return {
+        "workers": workers,
         "sessions": sessions,
         "edits_per_session": n_edits,
         "wall_seconds": wall,
@@ -295,10 +329,75 @@ async def _persistence_figures(
     }
 
 
+def _scaling_figures(text: str, smoke: bool, max_workers: int) -> dict:
+    """Throughput and p95 vs worker count, saturated (no think time).
+
+    Paced load never shows CPU scaling -- a closed loop with think time
+    is latency-bound, not core-bound.  Each point here replays the same
+    saturated load through a fresh :class:`ShardDispatcher`; the only
+    variable is the worker count, so the throughput ratio *is* the
+    multi-core win (or, on a single-core box, the time-slicing
+    non-win, which is why the speedup gate consults ``cpus``).
+    """
+    cpus = os.cpu_count() or 1
+    # 0 = the in-process service under the same saturated load: the
+    # 0 -> 1 drop is the dispatch overhead (pipe + JSON round trip).
+    counts = [0] + sorted(
+        count for count in {1, 2, max_workers} if 0 < count <= max_workers
+    )
+    sessions = 8
+    n_edits = 12 if smoke else 48
+    points = []
+    for workers in counts:
+        load = asyncio.run(
+            _run_load(
+                sessions,
+                n_edits,
+                text,
+                dict(request_timeout=60.0),
+                workers=workers,
+                think=None,
+            )
+        )
+        points.append(
+            {
+                "workers": workers,
+                "throughput_rps": load["throughput_rps"],
+                "p50_seconds": load["latency_seconds"]["p50"],
+                "p95_seconds": load["latency_seconds"]["p95"],
+                "timeouts": load["timeouts"],
+                "coalesce_ratio": load["coalesce"]["ratio"],
+            }
+        )
+    one = next(point for point in points if point["workers"] == 1)
+    inproc = next(point for point in points if point["workers"] == 0)
+    base = one["throughput_rps"]
+    return {
+        "cpus": cpus,
+        "sessions": sessions,
+        "edits_per_session": n_edits,
+        "saturated": True,
+        "points": points,
+        "dispatch_overhead": (
+            1.0 - base / inproc["throughput_rps"]
+            if inproc["throughput_rps"]
+            else 0.0
+        ),
+        "speedup_vs_one_worker": {
+            str(point["workers"]): (point["throughput_rps"] / base)
+            if base
+            else 0.0
+            for point in points
+            if point["workers"] >= 1
+        },
+    }
+
+
 def run(
     smoke: bool = False,
     sessions: int | None = None,
     n_edits: int | None = None,
+    workers: int | None = None,
 ) -> dict:
     import tempfile
 
@@ -316,6 +415,9 @@ def run(
         persistence = asyncio.run(
             _persistence_figures(text, Path(tmp), repeat=3 if smoke else 5)
         )
+    scaling = (
+        _scaling_figures(text, smoke, workers) if workers else None
+    )
     return {
         "benchmark": "service",
         "smoke": smoke,
@@ -331,6 +433,7 @@ def run(
         },
         "cycle_counters": cycle,
         "persistence": persistence,
+        "scaling": scaling,
     }
 
 
@@ -367,6 +470,43 @@ def check(report: dict) -> list[str]:
                 f"reparse {baseline:.6f}s -- the write-ahead hook is "
                 "too expensive"
             )
+    scaling = report.get("scaling")
+    if scaling:
+        single = next(
+            point for point in scaling["points"] if point["workers"] == 1
+        )
+        inproc = next(
+            point for point in scaling["points"] if point["workers"] == 0
+        )
+        # No-regression: sharding must not be adopted-at-a-loss.  One
+        # worker behind the dispatcher carries the pipe + JSON round
+        # trip; it still has to deliver most of the in-process
+        # throughput under the identical saturated load (both points
+        # are measured in this same run, so machine noise cancels).
+        floor = 0.6 * inproc["throughput_rps"]
+        if single["throughput_rps"] < floor:
+            problems.append(
+                f"sharded single-worker throughput "
+                f"{single['throughput_rps']:.0f} req/s is below 60% of "
+                f"the in-process service's "
+                f"{inproc['throughput_rps']:.0f} req/s -- dispatch "
+                "overhead ate the incremental win"
+            )
+        for point in scaling["points"]:
+            if point["timeouts"]:
+                problems.append(
+                    f"{point['timeouts']} timeout(s) at "
+                    f"{point['workers']} worker(s)"
+                )
+        best = scaling["points"][-1]
+        if scaling["cpus"] >= 4 and best["workers"] >= 4:
+            speedup = scaling["speedup_vs_one_worker"][str(best["workers"])]
+            if speedup < 3.0:
+                problems.append(
+                    f"{best['workers']} workers deliver only "
+                    f"{speedup:.2f}x single-worker throughput on "
+                    f"{scaling['cpus']} cores (need >= 3x)"
+                )
     return problems
 
 
@@ -379,9 +519,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", action="store_true")
     parser.add_argument("--sessions", type=int, default=None)
     parser.add_argument("--edits", type=int, default=None)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also sweep the sharded backend at 1, 2, ... N worker "
+        "processes (saturated load) and report throughput/p95 scaling",
+    )
     args = parser.parse_args(argv)
 
-    report = run(smoke=args.smoke, sessions=args.sessions, n_edits=args.edits)
+    report = run(
+        smoke=args.smoke,
+        sessions=args.sessions,
+        n_edits=args.edits,
+        workers=args.workers,
+    )
     rendered = json.dumps(report, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -412,16 +565,39 @@ def main(argv: list[str] | None = None) -> int:
         f"{persistence['cold_recovery_seconds'] * 1e3:.2f} ms "
         f"({persistence['warm_speedup_vs_cold']:.1f}x)"
     )
+    scaling = report.get("scaling")
+    if scaling:
+        line = ", ".join(
+            (f"{point['workers']}w" if point["workers"] else "inproc")
+            + f" {point['throughput_rps']:.0f} req/s "
+            f"(p95 {point['p95_seconds'] * 1e3:.2f} ms)"
+            for point in scaling["points"]
+        )
+        print(
+            f"scaling (saturated, {scaling['sessions']} sessions, "
+            f"{scaling['cpus']} cpu(s)): {line}; dispatch overhead "
+            f"{scaling['dispatch_overhead'] * 100:.0f}%"
+        )
+        if scaling["cpus"] < 4 or scaling["points"][-1]["workers"] < 4:
+            print(
+                "scaling speedup gate skipped: needs >= 4 cpus and "
+                ">= 4 workers to be meaningful "
+                f"(have {scaling['cpus']} cpu(s), "
+                f"{scaling['points'][-1]['workers']} worker(s))"
+            )
     if args.check:
         problems = check(report)
         if problems:
             for problem in problems:
                 print(f"REGRESSION: {problem}", file=sys.stderr)
             return 1
-        print(
+        passed = (
             "check passed: >= 8 sessions, p95 under batch reparse, "
             "warm recovery and snapshot save under batch reparse"
         )
+        if scaling:
+            passed += ", sharded single-worker throughput within bounds"
+        print(passed)
     return 0
 
 

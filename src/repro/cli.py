@@ -16,7 +16,10 @@ Commands:
 * ``stats LANG.g FILE [EDITS...]`` — run an edit session with the
   observability layer on and print every work counter (tokens rescanned
   vs reused, subtrees reused vs decomposed, journal records, cache
-  hits...) plus a per-span timing summary.
+  hits...) plus a per-span timing summary.  ``stats --service
+  HOST:PORT`` instead scrapes a running ``serve --tcp`` instance; a
+  sharded server answers with the merged per-worker view (``--json``
+  for the raw payload).
 * ``trace LANG.g FILE [EDITS...]`` — same session, printing the
   hierarchical span trace (``--out FILE.jsonl`` also writes the
   JSON-lines trace an ambient ``REPRO_TRACE=path`` would produce).
@@ -25,7 +28,9 @@ Commands:
   docs/SERVICE.md for the protocol, backpressure and eviction policy.
   ``--state-dir DIR`` (or ``REPRO_STATE_DIR``) makes sessions durable:
   snapshotted on flush/eviction/shutdown, rehydrated lazily after a
-  restart.
+  restart.  ``--workers N`` shards the session pool across N worker
+  processes (one core each); dead workers are respawned and their
+  sessions rehydrate from the shared state dir.
 * ``sessions --state-dir DIR``  — inspect a snapshot store:
   ``--list`` (default) prints every durable session; ``--gc`` removes
   quarantined files (and, with ``--max-age``, expired snapshots).
@@ -219,7 +224,123 @@ def _run_observed_session(args: argparse.Namespace) -> Document:
     return document
 
 
+def _print_counter_groups(counters: dict, indent: str = "  ") -> None:
+    group = None
+    for name in sorted(counters):
+        prefix = name.split(".", 1)[0] if "." in name else None
+        if prefix != group and prefix is not None:
+            print(f"{indent}[{prefix}]")
+        group = prefix
+        pad = indent + ("  " if prefix is not None else "")
+        print(f"{pad}{name:32s} {counters[name]:>10d}")
+
+
+def _service_stats(target: str, as_json: bool) -> int:
+    """``repro stats --service HOST:PORT``: one live stats scrape.
+
+    Works against both backends; a sharded server answers with the
+    merged view (per-worker counters summed, retired lives included)
+    plus a ``dispatcher`` section describing each shard.
+    """
+    import json
+    import socket
+
+    host, _, port = target.rpartition(":")
+    try:
+        with socket.create_connection(
+            (host or "127.0.0.1", int(port)), timeout=10.0
+        ) as sock:
+            sock.sendall(b'{"id":0,"op":"stats"}\n')
+            buf = b""
+            while b"\n" not in buf:
+                chunk = sock.recv(1 << 16)
+                if not chunk:
+                    break
+                buf += chunk
+    except (OSError, ValueError) as error:
+        print(f"error: cannot reach service at {target}: {error}",
+              file=sys.stderr)
+        return 2
+    try:
+        reply = json.loads(buf.decode("utf-8").splitlines()[0])
+    except (IndexError, ValueError):
+        print("error: malformed stats reply", file=sys.stderr)
+        return 2
+    if not reply.get("ok"):
+        print(f"error: {reply.get('error')}", file=sys.stderr)
+        return 2
+    stats = reply["stats"]
+    if as_json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    dispatcher = stats.get("dispatcher")
+    backend = (
+        f"sharded, {stats.get('workers')} worker(s)"
+        if dispatcher
+        else "single-process"
+    )
+    print(f"service at {target} ({backend})")
+    print(
+        f"requests: {stats.get('requests', 0)}"
+        f"  timeouts: {stats.get('timeouts', 0)}"
+        f"  resident nodes: {stats.get('resident_nodes', 0)}"
+    )
+    sessions = stats.get("sessions") or {}
+    print(f"sessions: {len(sessions)} open")
+    for name in sorted(sessions):
+        info = sessions[name]
+        print(
+            f"  {name:24s} v{info.get('version', 0):<5d} "
+            f"queue={info.get('queued', 0)}"
+        )
+    if dispatcher:
+        print(
+            f"dispatcher: {dispatcher.get('routed', 0)} routed, "
+            f"{dispatcher.get('worker_restarts', 0)} worker restart(s), "
+            f"{dispatcher.get('forward_errors', 0)} forward error(s)"
+        )
+        for shard in dispatcher.get("shards", []):
+            state = "alive" if shard.get("alive") else "DOWN"
+            print(
+                f"  shard {shard['shard']}: pid {shard.get('pid')}  "
+                f"gen {shard.get('generation')}  "
+                f"pending {shard.get('pending')}  [{state}]"
+            )
+    cache = stats.get("table_cache") or {}
+    if cache:
+        print(
+            "table cache: "
+            f"{cache.get('memory_hits', 0)} memory hit(s), "
+            f"{cache.get('disk_hits', 0)} disk hit(s), "
+            f"{cache.get('misses', 0)} miss(es), "
+            f"{cache.get('stores', 0)} store(s)"
+        )
+    store = stats.get("persist")
+    if store:
+        print(
+            f"persist: {store.get('snapshots', 0)} snapshot(s) in "
+            f"{store.get('dir')}  "
+            f"saves={store.get('saves', 0)} loads={store.get('loads', 0)} "
+            f"quarantined={store.get('quarantined', 0)} "
+            f"lock_waits={store.get('lock_waits', 0)} "
+            f"conflicts={store.get('save_conflicts', 0)}"
+        )
+    counters = stats.get("counters") or {}
+    if counters:
+        print("counters:")
+        _print_counter_groups(counters)
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
+    if args.service:
+        return _service_stats(args.service, args.json)
+    if not args.grammar or not args.file:
+        print(
+            "error: stats needs GRAMMAR and FILE (or --service HOST:PORT)",
+            file=sys.stderr,
+        )
+        return 2
     document = _run_observed_session(args)
     counters = obs.counters()
     print(
@@ -230,13 +351,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print("no counters recorded")
         return 0
     print("\ncounters:")
-    group = None
-    for name in sorted(counters):
-        prefix = name.split(".", 1)[0]
-        if prefix != group:
-            group = prefix
-            print(f"  [{group}]")
-        print(f"    {name:32s} {counters[name]:>10d}")
+    _print_counter_groups(counters)
     summary = obs.span_summary()
     if summary:
         print("\nspans:")
@@ -398,10 +513,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser(
         "stats", help="edit session with work counters and span timings"
     )
-    p_stats.add_argument("grammar")
-    p_stats.add_argument("file")
+    p_stats.add_argument("grammar", nargs="?", default=None)
+    p_stats.add_argument("file", nargs="?", default=None)
     p_stats.add_argument("edits", nargs="*", metavar="OFFSET:LENGTH:TEXT")
     p_stats.add_argument("--balanced", action="store_true")
+    p_stats.add_argument(
+        "--service",
+        default=None,
+        metavar="HOST:PORT",
+        help="scrape a running `repro serve --tcp` instead of running a "
+        "local session (sharded servers answer with the merged "
+        "per-worker view)",
+    )
+    p_stats.add_argument(
+        "--json", action="store_true",
+        help="with --service, print the raw stats JSON",
+    )
     p_stats.set_defaults(func=cmd_stats)
 
     p_trace = sub.add_parser(
@@ -461,6 +588,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="durable session snapshots here (default: $REPRO_STATE_DIR; "
         "unset disables persistence)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the session pool across N worker processes "
+        "(documents routed by consistent hashing; session/node limits "
+        "apply per shard; default 1 = in-process)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -22,7 +22,12 @@ Layering:
   crash-safe store (atomic publish, verified reads, quarantine) that
   makes restart/eviction recoverable by one incremental pass;
 * :mod:`repro.service.server` -- transports (stdio and TCP), request
-  dispatch, per-request timeouts, the ``repro serve`` entry point.
+  dispatch, per-request timeouts, the ``repro serve`` entry point;
+* :mod:`repro.service.pool` / :mod:`repro.service.worker` -- the
+  multi-core backend (``repro serve --workers N``): a dispatcher that
+  routes documents to N worker subprocesses by consistent hashing,
+  respawns dead workers (sessions rehydrate from the shared snapshot
+  store), and merges per-worker stats.
 
 Everything observable is exported through :mod:`repro.obs`
 (``service.*`` counters and gauges, ``service.batch`` spans) and
@@ -43,12 +48,15 @@ from .protocol import (
     error_reply,
     ok_reply,
 )
+from .pool import ShardDispatcher, shard_for
 from .server import AnalysisService
 from .session import Session
 
 __all__ = [
     "AnalysisService",
     "CapacityError",
+    "ShardDispatcher",
+    "shard_for",
     "EditSpec",
     "ProtocolError",
     "Session",

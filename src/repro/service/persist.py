@@ -21,6 +21,11 @@ gives the session pool that property:
   truncated, version-mismatched, or garbage -- is *quarantined*: renamed
   aside, counted, and treated as a miss, never an exception.  A corrupt
   snapshot therefore costs one cold session, not a crashed service.
+  With the sharded service (``repro serve --workers N``) several
+  processes share one store, so every mutation additionally takes a
+  per-session ``flock`` sidecar lock and plants an O_EXCL claim file as
+  a tripwire: two live writers on the same session can never interleave
+  a save, and if they somehow try, ``save_conflicts`` counts the alarm.
 
 Crash points cover every transition (serialize, write, publish, load,
 quarantine, rehydrate), so the fault suite can kill the process at any
@@ -35,8 +40,14 @@ import pickle
 import struct
 import sys
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix: claim files only
+    fcntl = None
 
 from .. import obs
 from ..testing.faults import crash_point, register_points
@@ -61,6 +72,19 @@ _HEADER = struct.Struct(f"<{len(MAGIC)}sIQ32s")
 # Parent-linked parse DAGs pickle recursively; give deep (unbalanced)
 # trees headroom instead of letting RecursionError degrade the snapshot.
 _PICKLE_RECURSION = 100_000
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is there a live process with this pid (signal-0 probe)?"""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by other uid
+        return True
+    except OSError:
+        return False
+    return True
 
 
 @dataclass
@@ -100,7 +124,85 @@ class SnapshotStore:
             "misses": 0,
             "quarantined": 0,
             "deletes": 0,
+            "lock_waits": 0,  # mutations that found the lock held
+            "save_conflicts": 0,  # live concurrent writer seen (alarm!)
+            "stale_claims": 0,  # dead writer's claim file cleaned up
         }
+
+    # -- cross-process locking ------------------------------------------------
+
+    @contextmanager
+    def _locked(self, name: str):
+        """Serialize mutations of one session's files across processes.
+
+        The sharded service routes each document to exactly one worker,
+        but that invariant must not be load-bearing for storage safety:
+        a respawn race, a resized pool, or an operator's ``repro
+        sessions --gc`` can all touch the same snapshot concurrently.
+        ``flock`` on a per-session sidecar file makes every mutation
+        exclusive, and -- unlike claim files -- is released by the
+        kernel even on ``kill -9``.  The lock file itself is never
+        unlinked: remove-and-recreate races would hand two processes
+        locks on different inodes.
+        """
+        if fcntl is None:  # pragma: no cover - non-posix
+            yield
+            return
+        fd = os.open(
+            self.path_for(name).with_suffix(".lock"),
+            os.O_CREAT | os.O_RDWR,
+            0o644,
+        )
+        try:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                self.counts["lock_waits"] += 1
+                obs.incr("persist.lock_waits")
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def _claim(self, name: str) -> Path | None:
+        """O_EXCL tripwire proving the lock actually excludes writers.
+
+        Created (with our pid) for the duration of a save.  Finding one
+        already present means either a *dead* writer was killed mid-save
+        (stale: remove and carry on -- the flock guarantees nobody live
+        holds it) or a *live* process is writing concurrently, i.e. the
+        locking failed; that is counted as ``save_conflicts``, the
+        counter the two-process hammer test asserts stays zero.  Either
+        way the save proceeds: atomic publish keeps the bytes safe, the
+        counters keep the invariant observable.
+        """
+        claim = self.path_for(name).with_suffix(".claim")
+        for _ in range(2):
+            try:
+                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    pid = int(claim.read_text() or "0")
+                except (OSError, ValueError):
+                    pid = 0
+                if pid and _pid_alive(pid):
+                    self.counts["save_conflicts"] += 1
+                    obs.incr("persist.save_conflicts")
+                else:
+                    self.counts["stale_claims"] += 1
+                    obs.incr("persist.stale_claims")
+                try:
+                    claim.unlink()
+                except OSError:
+                    return None
+                continue
+            except OSError:
+                return None
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+            return claim
+        return None
 
     # -- naming ---------------------------------------------------------------
 
@@ -120,7 +222,16 @@ class SnapshotStore:
         """
         with obs.span("persist.save", doc=snapshot.name):
             try:
-                size = self._save_inner(snapshot)
+                with self._locked(snapshot.name):
+                    claim = self._claim(snapshot.name)
+                    try:
+                        size = self._save_inner(snapshot)
+                    finally:
+                        if claim is not None:
+                            try:
+                                claim.unlink()
+                            except OSError:
+                                pass
             except Exception:
                 self.counts["save_errors"] += 1
                 obs.incr("persist.save_errors")
@@ -177,15 +288,16 @@ class SnapshotStore:
         path = self.path_for(name)
         with obs.span("persist.load", doc=name):
             crash_point("persist:load")
-            try:
-                blob = path.read_bytes()
-            except FileNotFoundError:
-                self.counts["misses"] += 1
-                obs.incr("persist.misses")
-                return None
-            except OSError:
-                return self._quarantine(path, "unreadable")
-            snapshot = self._verify(path, blob)
+            with self._locked(name):
+                try:
+                    blob = path.read_bytes()
+                except FileNotFoundError:
+                    self.counts["misses"] += 1
+                    obs.incr("persist.misses")
+                    return None
+                except OSError:
+                    return self._quarantine(path, "unreadable")
+                snapshot = self._verify(path, blob)
         if snapshot is not None:
             self.counts["loads"] += 1
             obs.incr("persist.loads")
@@ -235,12 +347,13 @@ class SnapshotStore:
     def delete(self, name: str) -> bool:
         """Drop a session's snapshot (close, or open-over with fresh text)."""
         crash_point("persist:delete")
-        try:
-            self.path_for(name).unlink()
-        except FileNotFoundError:
-            return False
-        except OSError:
-            return False
+        with self._locked(name):
+            try:
+                self.path_for(name).unlink()
+            except FileNotFoundError:
+                return False
+            except OSError:
+                return False
         self.counts["deletes"] += 1
         obs.incr("persist.deletes")
         return True
@@ -310,11 +423,25 @@ class SnapshotStore:
         import time
 
         now = time.time() if now is None else now
-        removed_bad = removed_old = 0
+        removed_bad = removed_old = removed_claims = 0
         for path in self.quarantined_files():
             try:
                 path.unlink()
                 removed_bad += 1
+            except OSError:
+                pass
+        # Claim files normally vanish with their save; one left behind
+        # belongs to a writer that died mid-save (its pid is dead).
+        for path in list(self.directory.glob("*.claim")):
+            try:
+                pid = int(path.read_text() or "0")
+            except (OSError, ValueError):
+                pid = 0
+            if pid and _pid_alive(pid):
+                continue
+            try:
+                path.unlink()
+                removed_claims += 1
             except OSError:
                 pass
         if max_age_seconds is not None:
@@ -325,7 +452,11 @@ class SnapshotStore:
                         removed_old += 1
                 except OSError:
                     pass
-        return {"quarantined_removed": removed_bad, "expired_removed": removed_old}
+        return {
+            "quarantined_removed": removed_bad,
+            "expired_removed": removed_old,
+            "stale_claims_removed": removed_claims,
+        }
 
     def stats(self) -> dict:
         snaps = list(self.directory.glob("*.snap"))

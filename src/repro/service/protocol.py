@@ -69,6 +69,11 @@ E_TIMEOUT = "timeout"  # reply deadline passed; work may still land
 E_EDIT = "bad-edit"  # edit range outside the document
 E_ANALYSIS = "analysis"  # degradation ladder exhausted
 E_CLOSED = "closed"  # session shut down while request was queued
+# Sharded backend only: the worker process owning this document died
+# mid-request and is being respawned.  Flow control, not failure: the
+# session is durable (snapshot store), so the client retries and the
+# fresh worker rehydrates it; at most the in-flight batch is lost.
+E_WORKER = "worker-restart"
 
 
 class ProtocolError(ValueError):

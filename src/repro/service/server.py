@@ -15,6 +15,12 @@ That, plus per-session bounded queues with ``backpressure`` replies and
 the session-level degradation ladder, is the whole "never wedge"
 contract: every request gets an answer in bounded time, whatever state
 the analysis is in.
+
+``repro serve --workers N`` (N > 1) serves the same protocol through
+the multi-process :class:`~repro.service.pool.ShardDispatcher` instead:
+N copies of this service in worker subprocesses, one shard per
+document, one core each.  The transports are shared via
+:class:`ServiceTransport` so the two backends are interchangeable.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import sys
 
 from .. import obs
 from ..langs import language_names
+from ..tables.cache import cache_stats
 from .manager import CapacityError, SessionManager
 from .persist import SnapshotStore
 from .protocol import (
@@ -45,7 +52,154 @@ from .protocol import (
 SESSION_OPS = {"edit", "parse", "query", "snapshot", "close"}
 
 
-class AnalysisService:
+class ServiceTransport:
+    """Stdio/TCP JSON-lines plumbing shared by every protocol front end.
+
+    Subclasses provide ``handle(request) -> reply`` and ``aclose()``
+    and set ``self._stopping`` (an :class:`asyncio.Event`); both the
+    single-process :class:`AnalysisService` and the multi-process
+    :class:`~repro.service.pool.ShardDispatcher` serve through this
+    same loop, which is what lets ``repro serve --workers N`` swap
+    backends without touching a transport.
+    """
+
+    _stopping: asyncio.Event
+
+    async def handle(self, request: dict) -> dict | None:
+        raise NotImplementedError
+
+    async def aclose(self) -> None:
+        raise NotImplementedError
+
+    async def _serve_streams(
+        self,
+        reader: asyncio.StreamReader,
+        write_line,
+        *,
+        eof_closes: bool = False,
+    ) -> None:
+        """Shared read loop: one task per request, ordered writes.
+
+        ``eof_closes`` picks the EOF-without-shutdown semantics: on
+        stdio the sole client has closed its write end but is still
+        reading replies (``subprocess.run`` pipes the whole script and
+        closes stdin at once), so drain every in-flight request and
+        close; on TCP the peer is simply gone -- abandon its pending
+        replies and keep serving other connections.
+        """
+        outgoing: asyncio.Queue[dict | None] = asyncio.Queue()
+        pending: set[asyncio.Task] = set()
+
+        async def writer() -> None:
+            while True:
+                reply = await outgoing.get()
+                if reply is None:
+                    return
+                await write_line(encode(reply))
+
+        async def run_one(request: dict) -> None:
+            reply = await self.handle(request)
+            if reply is not None:
+                outgoing.put_nowait(reply)
+
+        writer_task = asyncio.ensure_future(writer())
+        stop_task = asyncio.ensure_future(self._stopping.wait())
+        try:
+            while not self._stopping.is_set():
+                line_task = asyncio.ensure_future(reader.readline())
+                done, _ = await asyncio.wait(
+                    {line_task, stop_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if line_task not in done:
+                    line_task.cancel()
+                    break
+                line = line_task.result()
+                if not line:
+                    break  # EOF
+                text = line.decode("utf-8", "replace").strip()
+                if not text:
+                    continue
+                try:
+                    request = decode_line(text)
+                except ProtocolError as error:
+                    outgoing.put_nowait(
+                        error_reply(None, E_PROTOCOL, str(error))
+                    )
+                    continue
+                task = asyncio.ensure_future(run_one(request))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+            if self._stopping.is_set() or eof_closes:
+                # Real shutdown (or stdio EOF, which means the same):
+                # closing the pool resolves every queued and in-flight
+                # waiter (deferred batches included), so this gather
+                # cannot hang.
+                await self.aclose()
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+            else:
+                # A client merely disconnected (a `stats --service`
+                # scrape, an editor restart).  The service lives on for
+                # other connections; just abandon replies nobody will
+                # read -- including deferred batches that would
+                # otherwise pin this connection open forever.
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            stop_task.cancel()
+            outgoing.put_nowait(None)
+            await writer_task
+
+    async def serve_stdio(self) -> None:
+        """JSON lines on stdin/stdout until EOF or ``shutdown``."""
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader()
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+        )
+
+        async def write_line(line: str) -> None:
+            sys.stdout.write(line + "\n")
+            sys.stdout.flush()
+
+        try:
+            await self._serve_streams(reader, write_line, eof_closes=True)
+        finally:
+            await self.aclose()
+
+    async def serve_tcp(self, host: str, port: int) -> None:
+        """One JSON-lines protocol instance per TCP connection."""
+
+        async def on_connect(reader, writer) -> None:
+            async def write_line(line: str) -> None:
+                writer.write(line.encode("utf-8") + b"\n")
+                await writer.drain()
+
+            try:
+                await self._serve_streams(reader, write_line)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        server = await asyncio.start_server(on_connect, host, port)
+        addrs = ", ".join(
+            str(sock.getsockname()) for sock in server.sockets
+        )
+        print(f"repro serve: listening on {addrs}", file=sys.stderr)
+        try:
+            async with server:
+                await self._stopping.wait()
+        finally:
+            await self.aclose()
+
+
+class AnalysisService(ServiceTransport):
     """Protocol-level front end over a :class:`SessionManager`."""
 
     def __init__(
@@ -86,6 +240,7 @@ class AnalysisService:
                 stats = self.manager.stats()
                 stats["requests"] = self.requests
                 stats["timeouts"] = self.timeouts
+                stats["table_cache"] = cache_stats()
                 return ok_reply(rid, stats=stats)
             if op == "shutdown":
                 self._stopping.set()
@@ -218,119 +373,21 @@ class AnalysisService:
     async def aclose(self) -> None:
         self.manager.close_all(snapshot=True)
 
-    # -- transports -----------------------------------------------------------
-
-    async def _serve_streams(
-        self,
-        reader: asyncio.StreamReader,
-        write_line,
-    ) -> None:
-        """Shared read loop: one task per request, ordered writes."""
-        outgoing: asyncio.Queue[dict | None] = asyncio.Queue()
-        pending: set[asyncio.Task] = set()
-
-        async def writer() -> None:
-            while True:
-                reply = await outgoing.get()
-                if reply is None:
-                    return
-                await write_line(encode(reply))
-
-        async def run_one(request: dict) -> None:
-            reply = await self.handle(request)
-            if reply is not None:
-                outgoing.put_nowait(reply)
-
-        writer_task = asyncio.ensure_future(writer())
-        stop_task = asyncio.ensure_future(self._stopping.wait())
-        try:
-            while not self._stopping.is_set():
-                line_task = asyncio.ensure_future(reader.readline())
-                done, _ = await asyncio.wait(
-                    {line_task, stop_task},
-                    return_when=asyncio.FIRST_COMPLETED,
-                )
-                if line_task not in done:
-                    line_task.cancel()
-                    break
-                line = line_task.result()
-                if not line:
-                    break  # EOF
-                text = line.decode("utf-8", "replace").strip()
-                if not text:
-                    continue
-                try:
-                    request = decode_line(text)
-                except ProtocolError as error:
-                    outgoing.put_nowait(
-                        error_reply(None, E_PROTOCOL, str(error))
-                    )
-                    continue
-                task = asyncio.ensure_future(run_one(request))
-                pending.add(task)
-                task.add_done_callback(pending.discard)
-            # Closing the pool resolves every queued and in-flight waiter
-            # (deferred batches included), so this gather cannot hang.
-            await self.aclose()
-            if pending:
-                await asyncio.gather(*pending, return_exceptions=True)
-        finally:
-            stop_task.cancel()
-            outgoing.put_nowait(None)
-            await writer_task
-
-    async def serve_stdio(self) -> None:
-        """JSON lines on stdin/stdout until EOF or ``shutdown``."""
-        loop = asyncio.get_running_loop()
-        reader = asyncio.StreamReader()
-        await loop.connect_read_pipe(
-            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
-        )
-
-        async def write_line(line: str) -> None:
-            sys.stdout.write(line + "\n")
-            sys.stdout.flush()
-
-        try:
-            await self._serve_streams(reader, write_line)
-        finally:
-            await self.aclose()
-
-    async def serve_tcp(self, host: str, port: int) -> None:
-        """One JSON-lines protocol instance per TCP connection."""
-
-        async def on_connect(reader, writer) -> None:
-            async def write_line(line: str) -> None:
-                writer.write(line.encode("utf-8") + b"\n")
-                await writer.drain()
-
-            try:
-                await self._serve_streams(reader, write_line)
-            finally:
-                writer.close()
-                try:
-                    await writer.wait_closed()
-                except (ConnectionError, OSError):
-                    pass
-
-        server = await asyncio.start_server(on_connect, host, port)
-        addrs = ", ".join(
-            str(sock.getsockname()) for sock in server.sockets
-        )
-        print(f"repro serve: listening on {addrs}", file=sys.stderr)
-        try:
-            async with server:
-                await self._stopping.wait()
-        finally:
-            await self.aclose()
-
 
 def serve(args) -> int:
-    """``repro serve`` entry point (see `repro.cli`)."""
+    """``repro serve`` entry point (see `repro.cli`).
+
+    ``--workers N`` with N > 1 swaps the in-process backend for the
+    multi-core :class:`~repro.service.pool.ShardDispatcher`: N worker
+    subprocesses, documents routed by consistent hashing, the same
+    protocol on the same transports.  Residency/queue limits then apply
+    per worker shard.
+    """
     state_dir = getattr(args, "state_dir", None) or os.environ.get(
         "REPRO_STATE_DIR"
     )
-    service = AnalysisService(
+    workers = getattr(args, "workers", 1) or 1
+    kwargs = dict(
         max_sessions=args.max_sessions,
         max_resident_nodes=args.max_nodes,
         queue_limit=args.queue_limit,
@@ -338,6 +395,12 @@ def serve(args) -> int:
         request_timeout=args.timeout,
         state_dir=state_dir,
     )
+    if workers > 1:
+        from .pool import ShardDispatcher
+
+        service: ServiceTransport = ShardDispatcher(workers, **kwargs)
+    else:
+        service = AnalysisService(**kwargs)
     if args.tcp:
         host, _, port = args.tcp.rpartition(":")
         asyncio.run(service.serve_tcp(host or "127.0.0.1", int(port)))

@@ -51,6 +51,7 @@ __all__ = [
     "build_table",
     "cache_dir",
     "cache_info",
+    "cache_stats",
     "clear_cache",
     "grammar_fingerprint",
 ]
@@ -269,6 +270,17 @@ def cache_info() -> dict:
         "labels": dict(_stats.entries),
         **_stats.as_dict(),
     }
+
+
+def cache_stats() -> dict[str, int]:
+    """Just the traffic counters (cheap; no directory scan).
+
+    The analysis service's ``stats`` op embeds this so the sharded
+    backend can prove cross-process warm starts: the first worker to
+    compile a grammar shows a miss+store, every later worker a
+    disk hit.
+    """
+    return _stats.as_dict()
 
 
 def reset_stats() -> None:

@@ -67,11 +67,21 @@ class Oracle:
             self.doc.parse()
 
 
-def run_script(language_name, seed_text, snippets, seed):
+def run_script(language_name, seed_text, snippets, seed,
+               service_factory=None, edits=EDITS):
+    """Drive one randomized script; ``service_factory`` picks the backend.
+
+    The default is the in-process :class:`AnalysisService`; the shard
+    suite passes a :class:`~repro.service.pool.ShardDispatcher` factory
+    to prove the multi-process backend is protocol-indistinguishable.
+    """
+
     async def go():
         rng = Random(seed)
         language = get_language(language_name)
-        service = AnalysisService()
+        service = (
+            service_factory() if service_factory else AnalysisService()
+        )
         reply = await service.handle(
             {"op": "open", "id": "open", "doc": "d",
              "language": language_name, "text": seed_text}
@@ -81,7 +91,7 @@ def run_script(language_name, seed_text, snippets, seed):
         oracle = Oracle(language, seed_text)
         shadow = seed_text
         sent = 0
-        while sent < EDITS:
+        while sent < edits:
             batch = []
             for _ in range(rng.randrange(1, 5)):
                 at, remove, insert = random_edit(rng, shadow, snippets)
@@ -120,14 +130,23 @@ def run_script(language_name, seed_text, snippets, seed):
             sent += len(batch)
 
         # End-to-end: the surviving document itself, not just replies.
-        session_doc = service.manager.get("d").doc
-        assert session_doc.text == shadow
-        assert session_doc.source_text() == shadow
+        # The sharded backend's document lives in a worker process; the
+        # query echo is its authoritative text.
+        if hasattr(service, "manager"):
+            session_doc = service.manager.get("d").doc
+            assert session_doc.text == shadow
+            assert session_doc.source_text() == shadow
+        else:
+            final = await service.handle(
+                {"op": "query", "id": "final", "doc": "d",
+                 "echo_text": True}
+            )
+            assert final["ok"] and final["text"] == shadow, final
         await service.aclose()
         return sent
 
     total = asyncio.run(go())
-    assert total >= EDITS
+    assert total >= edits
 
 
 @pytest.mark.parametrize("language_name,seed_text,snippets,seed", SCRIPTS)

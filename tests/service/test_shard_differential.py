@@ -1,0 +1,55 @@
+"""Differential conformance for the sharded backend (ISSUE 7).
+
+The same randomized scripts as `test_service_differential`, driven
+through a real :class:`~repro.service.pool.ShardDispatcher` -- worker
+subprocesses, pipes, internal-id rewriting, the lot -- against the same
+direct-:class:`Document` oracle.  If the multi-process backend batches,
+coalesces, defers, or recovers even one byte differently from the
+in-process service, these scripts diverge.
+
+Two workers with a single document exercises the asymmetric case: one
+worker owns the session while the other idles, so reply routing and
+shutdown must be correct for busy and empty shards alike.
+"""
+
+import pytest
+
+from repro.service.pool import ShardDispatcher
+
+from .test_service_differential import (
+    CALC_SNIPPETS,
+    MINIC_SNIPPETS,
+    run_script,
+)
+
+pytestmark = [
+    pytest.mark.service,
+    pytest.mark.fuzz,
+    pytest.mark.multiproc,
+    pytest.mark.slow,
+]
+
+# Fewer edits than the in-process suite: every batch pays a pipe round
+# trip, and the protocol equivalence it checks is the same property.
+EDITS = 120
+
+SCRIPTS = [
+    pytest.param("calc", "a = 1; b = 2; c = a + b;", CALC_SNIPPETS, 90125,
+                 id="calc"),
+    pytest.param("minic", "int main() { int a; a = 1; return a; }",
+                 MINIC_SNIPPETS, 41, id="minic"),
+]
+
+
+@pytest.mark.parametrize("language_name,seed_text,snippets,seed", SCRIPTS)
+def test_sharded_service_matches_direct_document(
+    language_name, seed_text, snippets, seed
+):
+    run_script(
+        language_name,
+        seed_text,
+        snippets,
+        seed,
+        service_factory=lambda: ShardDispatcher(2, request_timeout=60.0),
+        edits=EDITS,
+    )

@@ -1,0 +1,168 @@
+"""Kill a worker mid-save; the dispatcher respawns, the session survives.
+
+The PR-5 crash-point registry arms a real ``SIGKILL`` inside one worker
+subprocess (``fault_env`` arms only that shard's *first* life, so the
+respawn comes up clean).  The scripted session then is:
+
+1. ``open`` -- acked, and therefore durable (write-ahead: persist runs
+   before replies resolve);
+2. ``stats`` -- scrapes the doomed worker's counters into the
+   dispatcher's last-known view;
+3. ``edit`` -- the worker is murdered during this request's snapshot
+   save; the client gets the ``worker-restart`` flow-control error;
+4. retry ``query`` until the respawned worker answers: the rehydrated
+   text must be byte-identical to an *acked-or-later* state --
+   ``persist:write`` dies before publish (recover the open text),
+   ``persist:publish`` dies after (either text is legitimate);
+5. retry the edit: the recovered session keeps editing incrementally;
+6. ``stats`` again: exactly one restart, generation bumped, and the
+   merged counters never moved backwards (the retired-fold fix for
+   counters silently resetting on respawn).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.pool import ShardDispatcher, shard_for
+
+pytestmark = [
+    pytest.mark.service,
+    pytest.mark.persistence,
+    pytest.mark.faults,
+    pytest.mark.multiproc,
+    pytest.mark.slow,
+]
+
+ARMED_SHARD = 0
+RETRY_DEADLINE = 30.0
+
+# crash point -> texts a recovery may legitimately land on, given the
+# open text "x = 1;" was acked and the edit to "x = 9;" was not.
+CASES = [
+    pytest.param("persist:write", {"x = 1;"}, id="write"),
+    pytest.param("persist:publish", {"x = 1;", "x = 9;"}, id="publish"),
+]
+
+
+def owned_doc(shard: int, shards: int) -> str:
+    i = 0
+    while shard_for(f"doc{i}", shards) != shard:
+        i += 1
+    return f"doc{i}"
+
+
+async def retry_until_ok(service, request: dict) -> dict:
+    deadline = asyncio.get_running_loop().time() + RETRY_DEADLINE
+    while True:
+        reply = await service.handle(dict(request))
+        if reply["ok"]:
+            return reply
+        assert reply["error"]["code"] in ("worker-restart", "timeout"), reply
+        assert asyncio.get_running_loop().time() < deadline, (
+            f"worker never recovered: {reply}"
+        )
+        await asyncio.sleep(0.1)
+
+
+@pytest.mark.parametrize("point,allowed_texts", CASES)
+def test_killed_worker_respawns_and_recovers(tmp_path, point, allowed_texts):
+    async def go():
+        service = ShardDispatcher(
+            2,
+            request_timeout=30.0,
+            state_dir=tmp_path / "state",
+            # Second arrival at the point: the open's save passes (so
+            # the open is durably acked), the edit's save is the kill.
+            fault_env={ARMED_SHARD: {"REPRO_CRASH_AT": f"{point}:1"}},
+        )
+        doc = owned_doc(ARMED_SHARD, 2)
+
+        reply = await service.handle(
+            {"op": "open", "id": 0, "doc": doc, "language": "calc",
+             "text": "x = 1;"}
+        )
+        assert reply["ok"], reply
+
+        before = (await service.handle({"op": "stats", "id": 1}))["stats"]
+        assert before["counters"]["opened"] == 1
+
+        crashed = await service.handle(
+            {"op": "edit", "id": 2, "doc": doc,
+             "edits": [{"at": 4, "remove": 1, "insert": "9"}]}
+        )
+        assert not crashed["ok"], crashed
+        assert crashed["error"]["code"] == "worker-restart"
+        assert crashed["error"].get("retry") or crashed.get("retry")
+
+        recovered = await retry_until_ok(
+            service,
+            {"op": "query", "id": 3, "doc": doc, "echo_text": True},
+        )
+        assert recovered.get("rehydrated"), recovered
+        assert recovered["text"] in allowed_texts, (
+            f"recovered {recovered['text']!r}, acked-or-later states "
+            f"are {allowed_texts}"
+        )
+
+        # The recovered session keeps working: redo the lost gesture.
+        edited = await retry_until_ok(
+            service,
+            {"op": "edit", "id": 4, "doc": doc,
+             "edits": [{"at": 4, "remove": 1, "insert": "7"}],
+             "echo_text": True},
+        )
+        assert edited["text"] == "x = 7;"
+
+        after = (await service.handle({"op": "stats", "id": 5}))["stats"]
+        dispatcher = after["dispatcher"]
+        assert dispatcher["worker_restarts"] == 1
+        shards = {s["shard"]: s for s in dispatcher["shards"]}
+        assert shards[ARMED_SHARD]["generation"] == 1
+        assert shards[ARMED_SHARD]["alive"]
+        assert shards[1 - ARMED_SHARD]["generation"] == 0
+        # Retired-fold: the dead life's scraped counters survive the
+        # respawn -- the aggregate never moves backwards.
+        assert (
+            after["counters"]["opened"] >= before["counters"]["opened"]
+        )
+        assert after["counters"]["rehydrated"] >= 1
+        assert after["requests"] >= before["requests"]
+        await service.aclose()
+
+    asyncio.run(go())
+
+
+def test_respawn_comes_up_clean(tmp_path):
+    """The armed kill fires once per shard slot, never on a respawn."""
+
+    async def go():
+        service = ShardDispatcher(
+            2,
+            request_timeout=30.0,
+            state_dir=tmp_path / "state",
+            # Armed on the *first* arrival: the open itself is the kill,
+            # so nothing was ever durable for this doc.
+            fault_env={ARMED_SHARD: {"REPRO_CRASH_AT": "persist:write:0"}},
+        )
+        doc = owned_doc(ARMED_SHARD, 2)
+        crashed = await service.handle(
+            {"op": "open", "id": 0, "doc": doc, "language": "calc",
+             "text": "x = 1;"}
+        )
+        assert not crashed["ok"]
+        assert crashed["error"]["code"] == "worker-restart"
+
+        # The respawned worker must NOT re-arm the kill: the same open
+        # (retried) now passes through the same crash point and lives.
+        reply = await retry_until_ok(
+            service,
+            {"op": "open", "id": 1, "doc": doc, "language": "calc",
+             "text": "x = 1;"},
+        )
+        assert reply["ok"], reply
+        stats = (await service.handle({"op": "stats", "id": 2}))["stats"]
+        assert stats["dispatcher"]["worker_restarts"] == 1
+        await service.aclose()
+
+    asyncio.run(go())
