@@ -21,6 +21,11 @@
 #   make shard-smoke - multi-process shard gate: dispatcher routing,
 #                      cross-process store locking, cache warm starts,
 #                      kill-a-worker recovery (the multiproc marker)
+#   make semantics-smoke - incremental-semantics gate: the semantics
+#                      marker (differential conformance, project graph,
+#                      service ops) plus the cross-document bench check
+#                      that re-decisions per header edit track dependent
+#                      fanout, not project or document size
 #   make fault-smoke - crash-safety gate: the kill -9 recovery harness
 #                      (SIGKILL a live `repro serve --state-dir` at every
 #                      registered persistence crash point, restart,
@@ -33,7 +38,7 @@
 PY = PYTHONPATH=src python
 
 .PHONY: test smoke bench bench-smoke serve-smoke fault-smoke shard-smoke \
-	trace-demo
+	semantics-smoke trace-demo
 
 test:
 	$(PY) -m pytest -q
@@ -55,6 +60,8 @@ bench-smoke:
 		--out benchmarks/results/BENCH_obs_overhead.json
 	$(PY) -m repro.bench.service --smoke --check --workers 2 \
 		--out benchmarks/results/BENCH_service.json
+	$(PY) -m repro.bench.semantics --smoke --check \
+		--out benchmarks/results/BENCH_semantics.json
 
 serve-smoke:
 	$(PY) examples/service_session.py
@@ -62,6 +69,11 @@ serve-smoke:
 
 shard-smoke:
 	$(PY) -m pytest -q -m multiproc tests/service
+
+semantics-smoke:
+	$(PY) -m pytest -q -m semantics
+	$(PY) -m repro.bench.semantics --smoke --check \
+		--out benchmarks/results/BENCH_semantics.json
 
 trace-demo:
 	REPRO_TRACE=benchmarks/results/TRACE_demo.jsonl $(PY) -m repro \

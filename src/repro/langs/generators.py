@@ -191,6 +191,94 @@ def generate_gcc_corpus(
     return corpus
 
 
+@dataclass(frozen=True)
+class EditStep:
+    """One textual splice in an edit script (offset into the text the
+    step is applied to, i.e. after all preceding steps)."""
+
+    offset: int
+    remove: int
+    insert: str
+    note: str = ""
+
+
+def apply_edit_step(text: str, step: EditStep) -> str:
+    return text[: step.offset] + step.insert + text[step.offset + step.remove :]
+
+
+def generate_typedef_edit_script(
+    seed: int = 0,
+    n_steps: int = 12,
+    n_names: int = 4,
+    body_statements: int = 6,
+) -> tuple[str, list[EditStep]]:
+    """A deterministic typedef-heavy edit script for the semantics
+    differential suite.
+
+    Produces a MiniC program whose function body is dominated by
+    ``T (x);`` ambiguous statements, plus a script of edits that toggle
+    the typedef declarations those statements consult, retarget
+    statements between names, and append fresh ambiguous statements.
+    Typedef names (``Q*``) never collide with ordinary names
+    (``u*``/``p*``), so set-based change detection (the
+    ``REPRO_SEMANTICS=rescan`` oracle) observes every toggle.
+
+    Each :class:`EditStep` is relative to the text produced by its
+    predecessors; replay with :func:`apply_edit_step`.
+    """
+    rng = random.Random(seed)
+    names = [f"Q{i}" for i in range(n_names)]
+    header = "".join(f"typedef int {name};\n" for name in names)
+    stmts = []  # index -> current statement line (unique by its u<i> arg)
+    for i in range(body_statements):
+        stmts.append(f"  {names[i % n_names]} (u{i});")
+    text = header + "int main(int p0) {\n" + "\n".join(stmts) + "\n}\n"
+    base = text
+    present = set(names)
+    steps: list[EditStep] = []
+    for _ in range(n_steps):
+        op = rng.random()
+        if op < 0.55:
+            # Toggle a typedef declaration on or off.
+            name = rng.choice(names)
+            line = f"typedef int {name};\n"
+            if name in present:
+                step = EditStep(
+                    text.index(line), len(line), "", f"drop typedef {name}"
+                )
+                present.discard(name)
+            else:
+                step = EditStep(0, 0, line, f"re-add typedef {name}")
+                present.add(name)
+        elif op < 0.85 and stmts:
+            # Retarget one ambiguous statement to a different name.
+            i = rng.randrange(len(stmts))
+            new_name = rng.choice(names)
+            new_line = f"  {new_name} (u{i});"
+            old_line = stmts[i]
+            step = EditStep(
+                text.index(old_line),
+                len(old_line),
+                new_line,
+                f"retarget u{i} -> {new_name}",
+            )
+            stmts[i] = new_line
+        else:
+            # Append a fresh ambiguous statement (and grow the name pool
+            # so later toggles can exercise its typedef).
+            name = f"Q{len(names)}"
+            names.append(name)
+            i = len(stmts)
+            new_line = f"  {name} (u{i});"
+            stmts.append(new_line)
+            step = EditStep(
+                text.rindex("\n}\n"), 0, "\n" + new_line, f"append u{i}"
+            )
+        steps.append(step)
+        text = apply_edit_step(text, step)
+    return base, steps
+
+
 def generate_calc_program(
     n_statements: int, seed: int = 0
 ) -> str:

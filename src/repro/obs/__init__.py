@@ -24,8 +24,11 @@ holding the disabled overhead under 3% of per-edit latency.
 
 The subsystem also owns the formerly ad-hoc measurement modules:
 :mod:`repro.obs.space` (parse-DAG space accounting, ex ``dag.metrics``)
-and :mod:`repro.obs.events` (Appendix-B parser action traces, ex
-``parser.trace``); the old import paths remain as compatibility shims.
+and the Appendix-B parser action tracer (:class:`Tracer` /
+:func:`format_trace`, ex ``repro.obs.events`` ex ``parser.trace``, now
+folded into :mod:`repro.obs.core`); the old import paths remain as
+compatibility shims.  Point events (:func:`event`) share the span
+stream for one-shot occurrences such as invalidation cascades.
 
 Instrumented modules access this package by attribute
 (``from .. import obs`` then ``obs.incr(...)``) so that the overhead
@@ -37,13 +40,17 @@ from .core import (
     OBS_ENV,
     TRACE_ENV,
     SpanRecord,
+    TraceEvent,
+    Tracer,
     collecting,
     configure,
     counter,
     counters,
     dropped_records,
     enabled,
+    event,
     flush,
+    format_trace,
     gauge,
     gauges,
     incr,
@@ -59,13 +66,17 @@ __all__ = [
     "OBS_ENV",
     "TRACE_ENV",
     "SpanRecord",
+    "TraceEvent",
+    "Tracer",
     "collecting",
     "configure",
     "counter",
     "counters",
     "dropped_records",
     "enabled",
+    "event",
     "flush",
+    "format_trace",
     "gauge",
     "gauges",
     "incr",

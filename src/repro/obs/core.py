@@ -204,6 +204,38 @@ def span(name: str, **attrs):
     return _Span(name, attrs)
 
 
+def event(name: str, **attrs) -> None:
+    """Record a zero-duration point event into the span stream.
+
+    Events share the span registry and exporters: they nest under
+    whatever span is open (same ``depth``/``parent`` bookkeeping) but
+    carry no duration and no counter deltas.  Use them for one-shot
+    occurrences -- an invalidation fired, a cache evicted -- where a
+    timed region would be noise.
+    """
+    if not _enabled:
+        return
+    record = SpanRecord(
+        name=name,
+        start=time.time(),
+        duration=0.0,
+        depth=len(_span_stack),
+        parent=_span_stack[-1].name if _span_stack else None,
+        attrs=attrs,
+        deltas={},
+    )
+    global _dropped, _export_errors
+    if len(_records) < MAX_RECORDS:
+        _records.append(record)
+    else:
+        _dropped += 1
+    for export in _exporters:
+        try:
+            export(record)
+        except Exception:
+            _export_errors += 1
+
+
 # -- registry queries ---------------------------------------------------------
 
 
@@ -376,6 +408,99 @@ def collecting() -> Iterator[dict[str, int]]:
         ) = saved
         _exporters.clear()
         _exporters.extend(restored_exporters)
+
+
+# -- parser action tracing (Appendix B reproduction) --------------------------
+#
+# Folded in from the former ``repro.obs.events`` module (itself ex
+# ``repro.parser.trace``; both paths remain as shims).  The paper's
+# Appendix B walks through the IGLR parser's shift/reduce/split actions
+# on the typedef example; a :class:`Tracer` attached to an
+# ``IGLRParser(..., tracer=...)`` records the same event stream and
+# :func:`format_trace` renders it in the appendix's ``S:``/``R:`` style.
+# Unlike spans/counters, which measure *how much* work happened, the
+# tracer records *which* parser actions happened in order -- a
+# qualitative trace for correctness arguments, not a performance one.
+
+# Matches repro.grammar.cfg.EPSILON; kept as a literal so the
+# observability core stays free of grammar imports.
+_EPSILON = "$eps"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One parser action."""
+
+    kind: str  # shift | shift-subtree | reduce | split | accept | breakdown
+    detail: str
+    parsers: int  # active parser count when the event fired
+
+
+@dataclass
+class Tracer:
+    """Collects parser events; attach via ``IGLRParser(..., tracer=...)``."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def shift(self, symbol: str, text: str, parsers: int) -> None:
+        self.events.append(
+            TraceEvent("shift", f"{symbol} {text!r}", parsers)
+        )
+
+    def shift_subtree(self, symbol: str, width: int, parsers: int) -> None:
+        self.events.append(
+            TraceEvent(
+                "shift-subtree", f"{symbol} [{width} terminals]", parsers
+            )
+        )
+
+    def reduce(self, production, parsers: int) -> None:
+        # ``production`` is duck-typed (needs ``.lhs``/``.rhs``) so this
+        # module does not depend on repro.grammar.
+        rhs = " ".join(production.rhs) if production.rhs else _EPSILON
+        self.events.append(
+            TraceEvent("reduce", f"{production.lhs} -> {rhs}", parsers)
+        )
+
+    def split(self, parsers: int) -> None:
+        self.events.append(TraceEvent("split", f"{parsers} parsers", parsers))
+
+    def breakdown(self, symbol: str, parsers: int) -> None:
+        self.events.append(TraceEvent("breakdown", symbol, parsers))
+
+    def accept(self) -> None:
+        self.events.append(TraceEvent("accept", "", 1))
+
+    # -- queries -----------------------------------------------------------
+
+    def reductions(self) -> list[str]:
+        return [e.detail for e in self.events if e.kind == "reduce"]
+
+    def max_parsers(self) -> int:
+        return max((e.parsers for e in self.events), default=1)
+
+    def events_during_split(self) -> list[TraceEvent]:
+        """Events fired while more than one parser was active."""
+        return [e for e in self.events if e.parsers > 1]
+
+
+def format_trace(tracer: Tracer) -> str:
+    """Render events in the Appendix B style."""
+    prefixes = {
+        "shift": "S:",
+        "shift-subtree": "S*",
+        "reduce": "R:",
+        "split": "||",
+        "breakdown": "B:",
+        "accept": "A:",
+    }
+    lines = []
+    for event in tracer.events:
+        marker = f" [{event.parsers} parsers]" if event.parsers > 1 else ""
+        lines.append(
+            f"{prefixes.get(event.kind, '??')} {event.detail}{marker}"
+        )
+    return "\n".join(lines)
 
 
 def _init_from_env() -> None:

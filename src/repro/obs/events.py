@@ -1,97 +1,15 @@
-"""Parser action tracing (Appendix B reproduction).
+"""Deprecated shim: the Appendix-B parser tracer now lives in obs.core.
 
-Part of the :mod:`repro.obs` observability subsystem (formerly
-``repro.parser.trace``; that path remains as a shim).
-
-The paper's Appendix B walks through the IGLR parser's shift/reduce/split
-actions on the typedef example.  A :class:`Tracer` attached to an
-:class:`~repro.parser.iglr.IGLRParser` records the same event stream, and
-:func:`format_trace` renders it in the appendix's ``S:``/``R:`` style.
-The Ensemble implementation "includes all tracing and assertion checking"
-in its 2000 lines; this is our equivalent.
-
-Unlike the spans/counters in :mod:`repro.obs.core`, which measure *how
-much* work happened, this module records *which* parser actions happened
-in order -- a qualitative trace for correctness arguments, not a
-performance one.
+``repro.obs.events`` (itself ex ``repro.parser.trace``) was folded into
+:mod:`repro.obs.core` so the observability subsystem is one module of
+machinery behind one package facade.  Import :class:`Tracer` /
+:class:`TraceEvent` / :func:`format_trace` from :mod:`repro.obs`
+instead; this path is kept only for backwards compatibility and may be
+removed in a future release.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from .core import TraceEvent, Tracer, format_trace
 
-from ..grammar.cfg import EPSILON, Production
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One parser action."""
-
-    kind: str  # shift | shift-subtree | reduce | split | accept | breakdown
-    detail: str
-    parsers: int  # active parser count when the event fired
-
-
-@dataclass
-class Tracer:
-    """Collects parser events; attach via ``IGLRParser(..., tracer=...)``."""
-
-    events: list[TraceEvent] = field(default_factory=list)
-
-    def shift(self, symbol: str, text: str, parsers: int) -> None:
-        self.events.append(
-            TraceEvent("shift", f"{symbol} {text!r}", parsers)
-        )
-
-    def shift_subtree(self, symbol: str, width: int, parsers: int) -> None:
-        self.events.append(
-            TraceEvent(
-                "shift-subtree", f"{symbol} [{width} terminals]", parsers
-            )
-        )
-
-    def reduce(self, production: Production, parsers: int) -> None:
-        rhs = " ".join(production.rhs) if production.rhs else EPSILON
-        self.events.append(
-            TraceEvent("reduce", f"{production.lhs} -> {rhs}", parsers)
-        )
-
-    def split(self, parsers: int) -> None:
-        self.events.append(TraceEvent("split", f"{parsers} parsers", parsers))
-
-    def breakdown(self, symbol: str, parsers: int) -> None:
-        self.events.append(TraceEvent("breakdown", symbol, parsers))
-
-    def accept(self) -> None:
-        self.events.append(TraceEvent("accept", "", 1))
-
-    # -- queries -----------------------------------------------------------
-
-    def reductions(self) -> list[str]:
-        return [e.detail for e in self.events if e.kind == "reduce"]
-
-    def max_parsers(self) -> int:
-        return max((e.parsers for e in self.events), default=1)
-
-    def events_during_split(self) -> list[TraceEvent]:
-        """Events fired while more than one parser was active."""
-        return [e for e in self.events if e.parsers > 1]
-
-
-def format_trace(tracer: Tracer) -> str:
-    """Render events in the Appendix B style."""
-    prefixes = {
-        "shift": "S:",
-        "shift-subtree": "S*",
-        "reduce": "R:",
-        "split": "||",
-        "breakdown": "B:",
-        "accept": "A:",
-    }
-    lines = []
-    for event in tracer.events:
-        marker = f" [{event.parsers} parsers]" if event.parsers > 1 else ""
-        lines.append(
-            f"{prefixes.get(event.kind, '??')} {event.detail}{marker}"
-        )
-    return "\n".join(lines)
+__all__ = ["TraceEvent", "Tracer", "format_trace"]

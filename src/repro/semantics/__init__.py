@@ -2,6 +2,7 @@
 
 from .analyzer import Decision, SemanticReport, TypedefAnalyzer
 from .attributes import AttributeEvaluator, standard_evaluator
+from .project import ProjectGraph
 from .filters import (
     accept,
     apply_syntactic_filters,
@@ -23,6 +24,7 @@ __all__ = [
     "standard_evaluator",
     "Decision",
     "Namespace",
+    "ProjectGraph",
     "Scope",
     "SemanticReport",
     "TypedefAnalyzer",

@@ -33,6 +33,7 @@ from collections import OrderedDict
 from .. import obs
 from ..language import Language
 from ..langs import get_language
+from ..semantics.project import ProjectGraph
 from ..testing.faults import crash_point, register_points
 from .persist import SnapshotStore
 from .session import Session
@@ -69,6 +70,9 @@ class SessionManager:
         self.store = store
         # Insertion order == recency order: move_to_end on every touch.
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
+        # Cross-document typedef dependencies.  Keyed by name (not live
+        # session) so edges and cached exports survive LRU eviction.
+        self.project = ProjectGraph()
         self.counts = {
             "opened": 0,
             "closed": 0,
@@ -137,9 +141,11 @@ class SessionManager:
             debounce=self.debounce,
             on_flush=self._after_flush,
             on_persist=self._persist_session if self.store else None,
+            on_exports=self._exports_changed,
         )
         session.language_label = language or "<inline>"
         session.grammar_source = grammar
+        self._wire_semantics(session)
         if self.store is not None:
             # A fresh open supersedes any durable state for this name:
             # the client's buffer, not the old snapshot, is authority.
@@ -153,6 +159,9 @@ class SessionManager:
     def close(self, name: str) -> None:
         """Forget a session the client closed (worker already stopped)."""
         session = self._sessions.pop(name, None)
+        # The closed document stops importing; its exports (and edges
+        # *into* it) stay cached for documents that still depend on it.
+        self.project.drop_dependent(name)
         if session is not None:
             if self.store is not None:
                 # An explicit close drops durable state too; eviction
@@ -281,9 +290,11 @@ class SessionManager:
             debounce=self.debounce,
             on_flush=self._after_flush,
             on_persist=self._persist_session,
+            on_exports=self._exports_changed,
         )
         session.language_label = snapshot.language or "<inline>"
         session.grammar_source = snapshot.grammar
+        self._wire_semantics(session)
         with obs.span("persist.rehydrate", doc=name):
             session.restore_from(snapshot)
         self._sessions[name] = session
@@ -304,6 +315,85 @@ class SessionManager:
                 break
             total = self.resident_nodes()
             obs.set_gauge("service.resident_nodes", total)
+
+    # -- project semantics ----------------------------------------------------
+
+    def add_dependency(
+        self, dependent: str, dependency: str, seed: set[str] | None = None
+    ) -> set[str]:
+        """Record ``dependent`` importing type names from ``dependency``.
+
+        ``seed``, when given, installs ``dependency``'s export set as
+        announced elsewhere (the cross-shard path, where this process
+        must not analyze the other shard's document).  Returns the full
+        import set now visible to ``dependent``.
+        """
+        self.project.depend(dependent, dependency)
+        if seed is not None:
+            self.project.seed_exports(dependency, set(seed))
+        session = self._sessions.get(dependent)
+        if session is not None:
+            self._wire_semantics(session)
+        return self.project.imports_for(dependent)
+
+    def _wire_semantics(self, session: Session) -> None:
+        """Seed a (re)opened session's semantic state from the project.
+
+        Documents with no project edges stay semantics-off until a
+        client sends ``analyze``; dependents come up with their import
+        set pre-populated so the first analysis resolves against it.
+        Documents others import from are re-activated too: an evicted
+        header must resume announcing export deltas on its first edit
+        after rehydration, not wait for a client ``analyze``.
+        """
+        if self.project.is_dependency(session.name):
+            session.semantics_active = True
+        if not self.project.has_dependencies(session.name):
+            return
+        session.semantics_active = True
+        imported = self.project.imports_for(session.name)
+        # In-place: the set object is shared with the session's analyzer.
+        session.external_typedefs.clear()
+        session.external_typedefs |= imported
+
+    def _exports_changed(self, session: Session, added, removed):
+        """Session hook: fan an export delta out to in-pool dependents.
+
+        The project graph's cached exports are authoritative: a session
+        re-announcing its full export set after rehydration diffs here
+        against what the project last saw, so vanished names still
+        propagate as removals and an unchanged set propagates nothing.
+        Returns the authoritative ``(added, removed)`` for the reply's
+        ``exports_changed`` field (the shard dispatcher's fan-out
+        signal); this hook itself only reaches sessions co-resident in
+        this manager.
+        """
+        # The session just recomputed its full export set; diff it
+        # against the project cache for the authoritative delta.
+        auth_added, auth_removed = self.project.update_exports(
+            session.name, set(session.last_exports or ())
+        )
+        if not auth_added and not auth_removed:
+            return auth_added, auth_removed
+        dependents = self.project.dependents_of(session.name)
+        if not dependents:
+            return auth_added, auth_removed
+        with obs.span(
+            "project.invalidate",
+            doc=session.name,
+            added=len(auth_added),
+            removed=len(auth_removed),
+            dependents=len(dependents),
+        ):
+            for name in sorted(dependents):
+                dependent = self._sessions.get(name)  # no LRU touch
+                if dependent is None or dependent.closed:
+                    continue  # evicted: rehydration re-seeds imports
+                obs.incr("project.invalidations")
+                dependent.submit_invalidate(
+                    None, set(auth_added), set(auth_removed)
+                )
+        return auth_added, auth_removed
 
     # -- introspection --------------------------------------------------------
 
@@ -329,6 +419,7 @@ class SessionManager:
                 "debounce_seconds": self.debounce,
             },
             "resident_nodes": self.resident_nodes(),
+            "project": self.project.stats(),
             "counters": totals,
             "coalesce_ratio": (received / applied) if applied else None,
             "persist": self.store.stats() if self.store is not None else None,

@@ -170,7 +170,12 @@ class ShardDispatcher(ServiceTransport):
             "routed": 0,
             "worker_restarts": 0,
             "forward_errors": 0,
+            "invalidations": 0,
         }
+        # Cross-shard dependency edges: dependency doc -> dependents on
+        # *other* shards get their "names changed" deltas routed here
+        # (co-sharded dependents are the owning worker's manager's job).
+        self._rdeps: dict[str, set[str]] = {}
         self._handles = [_Worker(i) for i in range(workers)]
         self._iid = itertools.count(1)
         # Counters of completed worker lives, so stats() totals cover
@@ -374,9 +379,92 @@ class ShardDispatcher(ServiceTransport):
             return error_reply(
                 rid, E_PROTOCOL, f"{op} needs a non-empty string 'doc'"
             )
-        handle = self._handles[shard_for(doc, self.workers)]
+        shard = shard_for(doc, self.workers)
+        handle = self._handles[shard]
         self.counts["routed"] += 1
-        return await self._forward(handle, request)
+        if op == "depends":
+            return await self._handle_depends(handle, doc, request)
+        reply = await self._forward(handle, request)
+        await self._propagate_exports(reply, shard)
+        return reply
+
+    # -- cross-shard semantics ------------------------------------------------
+
+    async def _handle_depends(
+        self, handle: _Worker, doc: str, request: dict
+    ) -> dict:
+        """Route a dependency registration, seeding exports across shards.
+
+        When the dependency lives on another shard, its exports are
+        fetched from the owning worker first and passed along as a
+        ``seed`` -- the dependent's worker must never open or rehydrate
+        a document it does not own (single writer per shard).
+        """
+        on = request.get("on")
+        if not isinstance(on, str) or not on:
+            return error_reply(
+                request.get("id"),
+                E_PROTOCOL,
+                "depends needs a non-empty string 'on'",
+            )
+        payload = dict(request)
+        source_shard = shard_for(on, self.workers)
+        if source_shard != handle.index and "seed" not in payload:
+            head_reply = await self._forward(
+                self._handles[source_shard],
+                {"op": "analyze", "doc": on, "id": None},
+            )
+            seed = head_reply.get("exports") if head_reply.get("ok") else None
+            payload["seed"] = seed or []
+            await self._propagate_exports(head_reply, source_shard)
+        reply = await self._forward(handle, payload)
+        if reply.get("ok"):
+            self._rdeps.setdefault(on, set()).add(doc)
+        await self._propagate_exports(reply, handle.index)
+        return reply
+
+    async def _propagate_exports(self, reply: dict, source_shard: int) -> None:
+        """Fan a reply's ``exports_changed`` delta out across shards.
+
+        Invalidations are awaited inline (deterministic: by the time the
+        triggering reply reaches the client, every dependent shard has
+        queued its re-decision).  Dependents co-sharded with the source
+        are skipped -- the owning worker's manager already reached them
+        in-process.
+        """
+        changed = reply.get("exports_changed") if isinstance(reply, dict) else None
+        if not changed:
+            return
+        doc = changed.get("doc")
+        dependents = self._rdeps.get(doc)
+        if not dependents:
+            return
+        added = list(changed.get("added") or [])
+        removed = list(changed.get("removed") or [])
+        with obs.span(
+            "shard.invalidate",
+            doc=doc,
+            added=len(added),
+            removed=len(removed),
+            dependents=len(dependents),
+        ):
+            for dependent in sorted(dependents):
+                dependent_shard = shard_for(dependent, self.workers)
+                if dependent_shard == source_shard:
+                    continue
+                self.counts["invalidations"] += 1
+                obs.incr("shard.invalidations")
+                sub_reply = await self._forward(
+                    self._handles[dependent_shard],
+                    {
+                        "op": "invalidate",
+                        "doc": dependent,
+                        "id": None,
+                        "added": added,
+                        "removed": removed,
+                    },
+                )
+                await self._propagate_exports(sub_reply, dependent_shard)
 
     def _post(
         self, handle: _Worker, request: dict

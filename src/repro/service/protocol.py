@@ -14,11 +14,28 @@ Requests::
      "defer": false, "echo_text": true}
     {"op": "parse", "id": 3, "doc": "a.calc"}
     {"op": "query", "id": 4, "doc": "a.calc"}
-    {"op": "snapshot", "id": 5, "doc": "a.calc"}
-    {"op": "close", "id": 6, "doc": "a.calc"}
-    {"op": "stats", "id": 7}
-    {"op": "ping",  "id": 8}
-    {"op": "shutdown", "id": 9}
+    {"op": "analyze", "id": 5, "doc": "a.minic"}
+    {"op": "depends", "id": 6, "doc": "a.minic", "on": "types.minic"}
+    {"op": "invalidate", "id": 7, "doc": "a.minic",
+     "added": ["Temp"], "removed": []}
+    {"op": "snapshot", "id": 8, "doc": "a.calc"}
+    {"op": "close", "id": 9, "doc": "a.calc"}
+    {"op": "stats", "id": 10}
+    {"op": "ping",  "id": 11}
+    {"op": "shutdown", "id": 12}
+
+**Semantics ops.**  ``analyze`` activates incremental typedef analysis
+on a session: the reply (and every subsequent edit/parse reply) carries
+``sem_decisions``/``sem_unresolved``/``sem_redecisions`` plus the
+cumulative ``sem_state`` summary and the session's ``exports`` (typedef
+names visible at top level).  ``depends`` declares a cross-document
+edge: ``doc`` imports the exported typedefs of ``on`` (optionally
+seeded explicitly with ``"seed": [...]`` -- the sharded dispatcher uses
+this to keep each session single-writer).  After that, an edit in
+``on`` whose exports change makes the service push an ``invalidate``
+delta into each dependent, re-deciding only the choice points that
+consulted the changed names; ``invalidate`` is also accepted directly
+from clients driving their own project graph.
 
 Replies are ``{"id": ..., "ok": true, ...fields}`` or
 ``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``.

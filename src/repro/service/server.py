@@ -49,7 +49,16 @@ from .protocol import (
     ok_reply,
 )
 
-SESSION_OPS = {"edit", "parse", "query", "snapshot", "close"}
+SESSION_OPS = {
+    "edit",
+    "parse",
+    "query",
+    "analyze",
+    "depends",
+    "invalidate",
+    "snapshot",
+    "close",
+}
 
 
 class ServiceTransport:
@@ -332,6 +341,21 @@ class AnalysisService(ServiceTransport):
                 # start the timeout clock on an intentionally open batch.
                 reply = await future
                 return self._tag(reply, rehydrated)
+        elif op == "depends":
+            return self._tag(
+                await self._handle_depends(rid, session, request), rehydrated
+            )
+        elif op == "invalidate":
+            added = request.get("added", [])
+            removed = request.get("removed", [])
+            for names in (added, removed):
+                if not isinstance(names, list) or any(
+                    not isinstance(n, str) for n in names
+                ):
+                    raise ProtocolError(
+                        "invalidate needs 'added'/'removed' string lists"
+                    )
+            future = session.submit_invalidate(rid, set(added), set(removed))
         else:
             future = session.submit_op(op, rid, echo_text=echo)
             if op == "close":
@@ -340,6 +364,59 @@ class AnalysisService(ServiceTransport):
                 return self._tag(reply, rehydrated)
         reply = await self._await_reply(future, rid)
         return self._tag(reply, rehydrated)
+
+    async def _handle_depends(
+        self, rid: object, session, request: dict
+    ) -> dict:
+        """Register ``doc`` importing type names from another document.
+
+        Without a ``seed``, the dependency is resolved (or rehydrated)
+        locally and analyzed first, so its exports are cached before the
+        dependent's first resolution against them.  The shard dispatcher
+        pre-computes ``seed`` when the dependency lives on another shard
+        -- this process must then leave that document alone (single
+        writer per shard).
+        """
+        on = request.get("on")
+        if not isinstance(on, str) or not on:
+            raise ProtocolError("depends needs a non-empty string 'on'")
+        if on == session.name:
+            raise ProtocolError("a document cannot depend on itself")
+        seed = request.get("seed")
+        if seed is not None and (
+            not isinstance(seed, list)
+            or any(not isinstance(item, str) for item in seed)
+        ):
+            raise ProtocolError("'seed' must be a list of strings")
+        if seed is None:
+            try:
+                header = self.manager.get(on)
+            except KeyError:
+                try:
+                    header = self.manager.rehydrate(on)
+                except Exception:
+                    header = None
+            if header is not None:
+                # Populate the export cache (via the manager's exports
+                # hook); a failed analysis just leaves it empty until
+                # the dependency's next successful analysis.
+                await self._await_reply(
+                    header.submit_op("analyze", None), None
+                )
+        try:
+            self.manager.add_dependency(
+                session.name, on, seed=None if seed is None else set(seed)
+            )
+        except ValueError as error:
+            raise ProtocolError(str(error)) from None
+        reply = await self._await_reply(
+            session.submit_op("analyze", rid), rid
+        )
+        reply.setdefault(
+            "depends_on",
+            sorted(self.manager.project.dependencies_of(session.name)),
+        )
+        return reply
 
     @staticmethod
     def _tag(reply: dict, rehydrated: bool) -> dict:

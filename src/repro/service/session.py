@@ -66,6 +66,7 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..language import Language
+from ..semantics.analyzer import TypedefAnalyzer
 from ..tables.cache import grammar_fingerprint
 from ..testing.faults import crash_point, register_points
 from ..versioned.document import Document
@@ -96,7 +97,8 @@ register_points(**{
 class _Work:
     """One queued request: what to do, and whom to answer."""
 
-    kind: str  # "edits" | "parse" | "query" | "snapshot" | "close"
+    kind: str  # "edits" | "parse" | "query" | "analyze" | "invalidate"
+    #          # | "snapshot" | "close"
     rid: object
     future: asyncio.Future
     specs: list[EditSpec] = field(default_factory=list)
@@ -105,6 +107,9 @@ class _Work:
     base: str = ""  # shadow text before this item's specs
     target: str = ""  # shadow text after this item's specs
     seq: int = 0  # journal sequence this item is ordered after
+    # "invalidate" payload: an upstream document's export delta.
+    names_added: set[str] = field(default_factory=set)
+    names_removed: set[str] = field(default_factory=set)
 
 
 def _resolve(work: _Work, reply: dict) -> None:
@@ -127,6 +132,7 @@ class Session:
         debounce: float = 0.0,
         on_flush=None,
         on_persist=None,
+        on_exports=None,
     ) -> None:
         self.name = name
         self.language = language
@@ -149,6 +155,18 @@ class Session:
         self._gate.set()
         self._on_flush = on_flush  # manager hook: resident accounting
         self._on_persist = on_persist  # manager hook: durable snapshot
+        self._on_exports = on_exports  # manager hook: export delta fan-out
+        # Semantic layer: lazily activated by the first "analyze" (or
+        # "depends") op so sessions that never ask pay nothing.
+        self.analyzer: TypedefAnalyzer | None = None
+        self.semantics_active = False
+        # Type names imported from dependency documents.  Shared *by
+        # reference* with the analyzer so external deltas applied before
+        # an analyzer exists are seen by the one built later.
+        self.external_typedefs: set[str] = set()
+        # Exports announced by the last analysis (None = never analyzed
+        # this session lifetime; the first analysis re-announces).
+        self.last_exports: set[str] | None = None
         # Journal tail: seq-tagged spec lists transforming flushed_text
         # (the text the document last committed) into shadow_text.
         self.flushed_text = ""
@@ -252,7 +270,8 @@ class Session:
     def submit_op(
         self, kind: str, rid: object, *, echo_text: bool = False
     ) -> asyncio.Future:
-        """Queue a parse / query / snapshot / close, ordered after edits."""
+        """Queue a parse / query / analyze / snapshot / close, ordered
+        after edits."""
         work = _Work(
             kind,
             rid,
@@ -261,6 +280,27 @@ class Session:
             base=self.shadow_text,
             target=self.shadow_text,
             seq=self._seq,
+        )
+        return self._enqueue(work)
+
+    def submit_invalidate(
+        self, rid: object, added: set[str], removed: set[str]
+    ) -> asyncio.Future:
+        """Queue an external-typedef delta from an upstream document.
+
+        ``rid`` may be ``None`` for fire-and-forget propagation (the
+        manager/dispatcher path); the future still resolves with the
+        re-decision summary for callers that want it.
+        """
+        work = _Work(
+            "invalidate",
+            rid,
+            asyncio.get_running_loop().create_future(),
+            base=self.shadow_text,
+            target=self.shadow_text,
+            seq=self._seq,
+            names_added=set(added),
+            names_removed=set(removed),
         )
         return self._enqueue(work)
 
@@ -457,6 +497,10 @@ class Session:
             recovered=report.recovered,
             ambiguous=report.ambiguous_regions,
         )
+        if self.semantics_active:
+            # Keep the semantic layer current on every flush so export
+            # deltas propagate as soon as the edit lands.
+            fields.update(self._run_semantics())
         for work in batch:
             reply = ok_reply(work.rid, **fields)
             if work.echo_text:
@@ -536,6 +580,19 @@ class Session:
                     recovered=report.recovered,
                     ambiguous=report.ambiguous_regions,
                 )
+                if self.semantics_active:
+                    fields.update(self._run_semantics())
+            elif work.kind == "analyze":
+                self.semantics_active = True
+                fields = self._state_fields()
+                fields.update(self._run_semantics(include_exports=True))
+            elif work.kind == "invalidate":
+                fields = self._state_fields()
+                fields.update(
+                    self._apply_invalidate(
+                        work.names_added, work.names_removed
+                    )
+                )
             else:  # query
                 fields = self._state_fields()
                 fields["has_errors"] = self.doc.has_errors
@@ -572,6 +629,97 @@ class Session:
             "tokens": len(self.doc.tokens),
             "sha256": text_digest(self.doc.text),
         }
+
+    # -- semantic layer -------------------------------------------------------
+
+    def _run_semantics(self, *, include_exports: bool = False) -> dict:
+        """Analyze (or incrementally update) typedef disambiguation.
+
+        Never raises: semantic failure degrades to a ``sem_error`` field
+        on an otherwise-ok reply, so the parsing service stays usable
+        even when the semantic layer cannot run.
+        """
+        try:
+            if self.doc is None or self.doc.dirty:
+                raise ValueError("document has no committed parse")
+            if self.analyzer is None or self.analyzer.document is not self.doc:
+                # First analysis, or a rung-2 rebuild replaced the
+                # document out from under the old analyzer.
+                self.analyzer = TypedefAnalyzer(self.doc)
+                self.analyzer.external_typedefs = self.external_typedefs
+                report = self.analyzer.analyze()
+            else:
+                report = self.analyzer.update()
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            obs.incr("sem.service_errors")
+            return {"sem_error": f"{type(error).__name__}: {error}"}
+        return self._semantics_fields(report, include_exports)
+
+    def _semantics_fields(self, report, include_exports: bool) -> dict:
+        fields = {
+            "sem_decisions": len(report.decisions),
+            "sem_unresolved": len(report.unresolved),
+            "sem_redecisions": report.sites_refiltered,
+            "sem_full_pass": report.full_pass,
+            "sem_errors": len(report.errors),
+        }
+        exports = self.analyzer.exported_typedefs()
+        if include_exports:
+            fields["exports"] = sorted(exports)
+            fields["sem_state"] = self.analyzer.decision_summary()
+        previous = self.last_exports
+        self.last_exports = exports
+        # A session with no prior announcement (first analysis, or just
+        # rehydrated) cannot diff locally -- names may have *vanished*
+        # relative to what the project last saw.  Announce
+        # unconditionally and let the manager hook diff against the
+        # project graph's cached exports; its return value is the
+        # authoritative delta for the reply (the shard dispatcher reads
+        # ``exports_changed`` for cross-worker fan-out).
+        if previous is None or exports != previous:
+            added = exports - (previous or set())
+            removed = (previous or set()) - exports
+            if self._on_exports is not None:
+                added, removed = self._on_exports(self, added, removed)
+            if added or removed:
+                fields["exports_changed"] = {
+                    "doc": self.name,
+                    "added": sorted(added),
+                    "removed": sorted(removed),
+                }
+        return fields
+
+    def _apply_invalidate(self, added: set[str], removed: set[str]) -> dict:
+        """Apply an upstream export delta; re-decide dependent choices."""
+        self.semantics_active = True
+        effective_added = set(added) - self.external_typedefs
+        effective_removed = set(removed) & self.external_typedefs
+        effective = len(effective_added | effective_removed)
+        if self.analyzer is None or self.analyzer.document is not self.doc:
+            # No live analysis to patch: record the imports and build
+            # the analyzer fresh against them.
+            self.external_typedefs |= effective_added
+            self.external_typedefs -= effective_removed
+            fields = self._run_semantics()
+            fields["sem_invalidated"] = effective
+            return fields
+        try:
+            report = self.analyzer.apply_external_delta(
+                set(added), set(removed)
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            obs.incr("sem.service_errors")
+            return {
+                "sem_error": f"{type(error).__name__}: {error}",
+                "sem_invalidated": effective,
+            }
+        fields = self._semantics_fields(report, False)
+        fields["sem_invalidated"] = effective
+        return fields
 
     # -- durability -----------------------------------------------------------
 
@@ -696,6 +844,7 @@ class Session:
             "busy": self.busy,
             "quiesced": self.quiesced,
             "restored": self.restored,
+            "semantics": self.semantics_active,
             "journal_edits": sum(
                 len(specs) for _seq, specs in self.pending_specs
             ),

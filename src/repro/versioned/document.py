@@ -145,6 +145,10 @@ class Document:
         self._token_nodes: dict[int, tuple[Token, TerminalNode]] = {}
         # Terminal nodes whose tokens left the stream since last parse.
         self._removed_nodes: list[TerminalNode] = []
+        # Same, for the *last committed* parse: alongside
+        # last_result.new_nodes this is the mutation journal consumers
+        # (e.g. repro.semantics) read to scope invalidation to the edit.
+        self.last_removed_terminals: list[TerminalNode] = []
         self._edit_log: list[Edit] = []
         self._fresh_nodes: dict[int, TerminalNode] = {}
         self._bos_node = TerminalNode(Token(BOS, ""))
@@ -311,6 +315,7 @@ class Document:
         outcome = attempt_sequence_repair(self)
         if outcome is None:
             return None
+        self.last_removed_terminals = self._removed_nodes
         self._removed_nodes = []
         self._edit_log = []
         self.version += 1
@@ -394,6 +399,7 @@ class Document:
             registry[id(token)] = (token, node)
         self._token_nodes = registry
         crash_point("commit:registry")
+        self.last_removed_terminals = self._removed_nodes
         self._removed_nodes = []
         self._edit_log = []
         self._fresh_nodes = {}

@@ -167,10 +167,13 @@ class TestIncrementalUpdate:
         doc.parse()
         update = analyzer.update()
         assert not update.full_pass
-        assert update.sites_refiltered == 1
         changed = update.decisions[0]
         assert changed.name == "a"
         assert changed.resolved_as is None  # a is now unbound
+        # The relex boundary also rebuilt the adjacent `int c;` decl, so
+        # c counts as touched and is re-decided — to the same answer.
+        others = [(d.name, d.resolved_as) for d in update.decisions[1:]]
+        assert others in ([], [("c", "stmt")])
 
     def test_removing_typedef_flips_to_call_when_bound(self):
         text = """
@@ -196,11 +199,44 @@ int foo() {
 """
         doc, analyzer, report = analyzed_doc(text)
         assert report.decisions[0].resolved_as == "stmt"
-        doc.insert(0, "typedef int a;\n")
+        # Turn the ordinary declaration itself into a typedef.  (Merely
+        # *prepending* a typedef line would leave `int a;` shadowing it
+        # at the use site — a batch walk says "stmt" there, and the old
+        # fast path wrongly flipped it to "decl"; the position-aware
+        # resolver now agrees with the batch walk on that case.)
+        doc.insert(doc.text.index("int a;"), "typedef ")
         doc.parse()
         update = analyzer.update()
         assert not update.full_pass
-        assert update.decisions[0].resolved_as == "decl"
+        by_name = {d.name: d for d in update.decisions}
+        assert by_name["a"].resolved_as == "decl"
+
+    def test_shadowed_typedef_stays_statement_incrementally(self):
+        """Regression: incremental and batch must agree under shadowing.
+
+        Prepending a typedef for a name that an ordinary declaration
+        re-binds before the use must leave the use a statement — the
+        old signature-flip fast path decided "decl" here, diverging
+        from a fresh analyze of the same text.
+        """
+        text = """
+int a;
+int foo() {
+  a (b);
+}
+"""
+        doc, analyzer, report = analyzed_doc(text)
+        assert report.decisions[0].resolved_as == "stmt"
+        doc.insert(1, "typedef int a;\n")
+        doc.parse()
+        update = analyzer.update()
+        by_name = {d.name: d for d in update.decisions}
+        assert by_name["a"].resolved_as == "stmt"
+        fresh = TypedefAnalyzer(doc)
+        fresh_report = fresh.analyze()
+        assert {d.name: d.resolved_as for d in fresh_report.decisions} == {
+            "a": "stmt"
+        }
 
     def test_unrelated_edit_triggers_full_pass(self):
         doc, analyzer, report = analyzed_doc(FIGURE_1)
@@ -210,11 +246,13 @@ int foo() {
         update = analyzer.update()
         assert update.full_pass
 
-    def test_update_without_changes_is_full_pass(self):
+    def test_update_without_changes_is_fast_and_empty(self):
         doc, analyzer, _ = analyzed_doc(FIGURE_1)
         doc.parse()
         update = analyzer.update()
-        assert update.full_pass
+        assert not update.full_pass
+        assert update.sites_refiltered == 0
+        assert update.typedef_names == {"a"}
 
     def test_reanalysis_after_edit_creating_ambiguity(self):
         doc, analyzer, report = analyzed_doc("int foo() { int i; }\n")

@@ -1,0 +1,105 @@
+"""Unit tests for the cross-document dependency graph (ISSUE 8)."""
+
+import pytest
+
+from repro.semantics import ProjectGraph
+
+pytestmark = pytest.mark.semantics
+
+
+class TestEdges:
+    def test_depend_and_query(self):
+        graph = ProjectGraph()
+        graph.depend("a.c", "types.h")
+        graph.depend("b.c", "types.h")
+        graph.depend("b.c", "extra.h")
+        assert graph.dependencies_of("a.c") == {"types.h"}
+        assert graph.dependencies_of("b.c") == {"types.h", "extra.h"}
+        assert graph.dependents_of("types.h") == {"a.c", "b.c"}
+        assert graph.dependents_of("extra.h") == {"b.c"}
+        assert graph.has_dependencies("a.c")
+        assert not graph.has_dependencies("types.h")
+        assert graph.is_dependency("types.h")
+        assert not graph.is_dependency("a.c")
+
+    def test_self_dependency_rejected(self):
+        graph = ProjectGraph()
+        with pytest.raises(ValueError):
+            graph.depend("a.c", "a.c")
+
+    def test_depend_is_idempotent(self):
+        graph = ProjectGraph()
+        graph.depend("a.c", "types.h")
+        graph.depend("a.c", "types.h")
+        assert graph.dependencies_of("a.c") == {"types.h"}
+        assert graph.stats()["edges"] == 1
+
+    def test_drop_dependent_forgets_outgoing_edges_only(self):
+        graph = ProjectGraph()
+        graph.depend("a.c", "types.h")
+        graph.depend("b.c", "a.c")
+        graph.update_exports("a.c", {"T"})
+        graph.drop_dependent("a.c")
+        # a.c no longer imports anything...
+        assert graph.dependencies_of("a.c") == set()
+        assert graph.dependents_of("types.h") == set()
+        # ...but b.c still depends on it and its exports survive.
+        assert graph.dependents_of("a.c") == {"b.c"}
+        assert graph.exports("a.c") == {"T"}
+
+    def test_drop_unknown_dependent_is_noop(self):
+        graph = ProjectGraph()
+        graph.drop_dependent("never-opened.c")
+        assert graph.stats()["edges"] == 0
+
+
+class TestExports:
+    def test_update_exports_returns_delta(self):
+        graph = ProjectGraph()
+        added, removed = graph.update_exports("types.h", {"A", "B"})
+        assert (added, removed) == ({"A", "B"}, set())
+        added, removed = graph.update_exports("types.h", {"B", "C"})
+        assert (added, removed) == ({"C"}, {"A"})
+        added, removed = graph.update_exports("types.h", {"B", "C"})
+        assert (added, removed) == (set(), set())
+
+    def test_seed_exports_produces_no_delta(self):
+        graph = ProjectGraph()
+        graph.seed_exports("types.h", {"A"})
+        assert graph.exports("types.h") == {"A"}
+        # A later authoritative update diffs against the seeded set.
+        added, removed = graph.update_exports("types.h", {"A", "B"})
+        assert (added, removed) == ({"B"}, set())
+
+    def test_imports_union_over_dependencies(self):
+        graph = ProjectGraph()
+        graph.depend("a.c", "types.h")
+        graph.depend("a.c", "extra.h")
+        graph.update_exports("types.h", {"T1", "T2"})
+        graph.update_exports("extra.h", {"T2", "T3"})
+        graph.update_exports("unrelated.h", {"T9"})
+        assert graph.imports_for("a.c") == {"T1", "T2", "T3"}
+        assert graph.imports_for("no-deps.c") == set()
+
+    def test_exports_survive_for_evicted_documents(self):
+        # The cache is keyed by name, not session: a dependent wired
+        # after the exporter "closed" still sees the last announcement.
+        graph = ProjectGraph()
+        graph.update_exports("types.h", {"T"})
+        graph.drop_dependent("types.h")  # close of the exporting session
+        graph.depend("late.c", "types.h")
+        assert graph.imports_for("late.c") == {"T"}
+
+
+def test_stats_shape():
+    graph = ProjectGraph()
+    graph.depend("a.c", "types.h")
+    graph.depend("b.c", "types.h")
+    graph.update_exports("types.h", {"T1", "T2"})
+    assert graph.stats() == {
+        "dependents": 2,
+        "dependencies": 1,
+        "edges": 2,
+        "documents_with_exports": 1,
+        "exported_names": 2,
+    }
