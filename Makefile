@@ -26,6 +26,11 @@
 #                      service ops) plus the cross-document bench check
 #                      that re-decisions per header edit track dependent
 #                      fanout, not project or document size
+#   make grammar-smoke - real-language-scale gate: the grammar marker
+#                      (fullc grammar + typedef analysis, DSL error-path
+#                      properties, grammar-agnostic scenario generators,
+#                      service-wide grammar hot-reload incl. the sharded
+#                      backend and snapshot rehydration)
 #   make fault-smoke - crash-safety gate: the kill -9 recovery harness
 #                      (SIGKILL a live `repro serve --state-dir` at every
 #                      registered persistence crash point, restart,
@@ -38,7 +43,7 @@
 PY = PYTHONPATH=src python
 
 .PHONY: test smoke bench bench-smoke serve-smoke fault-smoke shard-smoke \
-	semantics-smoke trace-demo
+	semantics-smoke grammar-smoke trace-demo
 
 test:
 	$(PY) -m pytest -q
@@ -74,6 +79,9 @@ semantics-smoke:
 	$(PY) -m pytest -q -m semantics
 	$(PY) -m repro.bench.semantics --smoke --check \
 		--out benchmarks/results/BENCH_semantics.json
+
+grammar-smoke:
+	$(PY) -m pytest -q -m grammar
 
 trace-demo:
 	REPRO_TRACE=benchmarks/results/TRACE_demo.jsonl $(PY) -m repro \

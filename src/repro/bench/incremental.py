@@ -4,8 +4,8 @@
 produces the canonical machine-readable benchmark artifact for the
 "incremental cost must be incremental" claim (paper section 5):
 
-* **per-edit latency vs document size** for the calc and MiniC
-  languages, at several sizes, under all three transaction modes
+* **per-edit latency vs document size** for the calc, MiniC and
+  FullC languages, at several sizes, under all three transaction modes
   (``journal`` -- the default, ``snapshot`` -- the O(tree) fallback,
   ``none`` -- no rollback protection, the overhead baseline);
 * **transactional overhead** per mode (mode time minus ``none`` time)
@@ -14,7 +14,8 @@ produces the canonical machine-readable benchmark artifact for the
 * **batch reparse time** at each size, for the incremental-vs-batch
   comparison, with power-law scaling exponents for both curves;
 * **parse-table acquisition**: cold build (empty cache) vs warm disk
-  load vs in-process memory hit.
+  load vs in-process memory hit, for both the MiniC grammar and the
+  real-language-scale FullC grammar.
 
 ``--smoke`` shrinks sizes and repetition counts so the run finishes in
 seconds (CI); ``--check`` exits non-zero when per-edit incremental
@@ -31,22 +32,36 @@ from typing import Callable
 
 from .. import obs
 from ..langs import get_language
-from ..langs.generators import generate_calc_program, generate_minic
+from ..langs.generators import (
+    generate_calc_program,
+    generate_minic,
+    generate_program,
+)
 from ..tables import cache as table_cache
 from ..versioned.document import Document
 from .measure import fit_powerlaw, parse_work, time_fn
 from .workloads import apply_and_cancel, self_cancelling_token_edits
 
 # (language, generator, sizes).  Sizes are generator units (statements
-# for calc, lines for minic); token counts are recorded per run.  The
-# third calc size lands near the ISSUE's ~2k-token acceptance document.
+# for calc, lines for minic/fullc); token counts are recorded per run.
+# The third calc size lands near the ISSUE's ~2k-token acceptance
+# document.  fullc gates the real-language-scale grammar: same edit
+# workload, but pushed through the 200+-state C-subset tables.
 FULL_SIZES: dict[str, tuple[Callable[[int], str], list[int]]] = {
     "calc": (lambda n: generate_calc_program(n, seed=11), [64, 256, 1024]),
     "minic": (lambda n: generate_minic(n, seed=11), [60, 240, 960]),
+    "fullc": (
+        lambda n: generate_program("fullc", n, seed=11),
+        [48, 192, 768],
+    ),
 }
 SMOKE_SIZES: dict[str, tuple[Callable[[int], str], list[int]]] = {
     "calc": (lambda n: generate_calc_program(n, seed=11), [64, 256]),
     "minic": (lambda n: generate_minic(n, seed=11), [60, 240]),
+    "fullc": (
+        lambda n: generate_program("fullc", n, seed=11),
+        [48, 192],
+    ),
 }
 
 MODES = ("none", "journal", "snapshot")
@@ -156,43 +171,54 @@ def _bench_language(
     }
 
 
-def _bench_tables(tmp_dir: str, repeat: int) -> dict:
-    """Cold build vs warm disk load vs in-process memory hit."""
+def _bench_tables(tmp_dir: str, repeat: int) -> list[dict]:
+    """Cold build vs warm disk load vs in-process memory hit, per grammar."""
     import os
 
     from ..grammar.dsl import parse_grammar_spec
+    from ..langs.fullc import FULLC_GRAMMAR
     from ..langs.minic import MINIC_GRAMMAR
 
-    grammar = parse_grammar_spec(MINIC_GRAMMAR).grammar
     previous = os.environ.get(table_cache.CACHE_ENV)
     os.environ[table_cache.CACHE_ENV] = tmp_dir
+    results = []
     try:
-        def cold() -> None:
+        for name, source in (
+            ("minic", MINIC_GRAMMAR),
+            ("fullc", FULLC_GRAMMAR),
+        ):
+            grammar = parse_grammar_spec(source).grammar
+
+            def cold() -> None:
+                table_cache.clear_cache(disk=True)
+                table_cache.build_table(grammar)
+
+            def disk_warm() -> None:
+                table_cache.clear_cache()  # memory only; disk entry stays
+                table_cache.build_table(grammar)
+
+            def memory_warm() -> None:
+                table_cache.build_table(grammar)
+
+            cold_t = time_fn(cold, repeat=repeat)
             table_cache.clear_cache(disk=True)
-            table_cache.build_table(grammar)
-
-        def disk_warm() -> None:
-            table_cache.clear_cache()  # memory only; disk entry stays
-            table_cache.build_table(grammar)
-
-        def memory_warm() -> None:
-            table_cache.build_table(grammar)
-
-        cold_t = time_fn(cold, repeat=repeat)
-        table_cache.clear_cache(disk=True)
-        table_cache.build_table(grammar)  # seed the disk entry
-        disk_t = time_fn(disk_warm, repeat=repeat)
-        table_cache.build_table(grammar)  # seed the memory entry
-        memory_t = time_fn(memory_warm, repeat=repeat, runs=10)
-        return {
-            "grammar": "minic",
-            "cold_build_seconds": cold_t.seconds,
-            "disk_load_seconds": disk_t.seconds,
-            "memory_hit_seconds": memory_t.per_run,
-            "disk_speedup": cold_t.seconds / disk_t.seconds
-            if disk_t.seconds > 0
-            else float("inf"),
-        }
+            table = table_cache.build_table(grammar)  # seed the disk entry
+            disk_t = time_fn(disk_warm, repeat=repeat)
+            table_cache.build_table(grammar)  # seed the memory entry
+            memory_t = time_fn(memory_warm, repeat=repeat, runs=10)
+            results.append(
+                {
+                    "grammar": name,
+                    "n_states": table.n_states,
+                    "cold_build_seconds": cold_t.seconds,
+                    "disk_load_seconds": disk_t.seconds,
+                    "memory_hit_seconds": memory_t.per_run,
+                    "disk_speedup": cold_t.seconds / disk_t.seconds
+                    if disk_t.seconds > 0
+                    else float("inf"),
+                }
+            )
+        return results
     finally:
         table_cache.clear_cache(disk=True)
         if previous is None:
@@ -293,6 +319,13 @@ def main(argv: list[str] | None = None) -> int:
             f"({largest['speedup_vs_batch']:.1f}x), per-edit scaling "
             f"exponent {lang['scaling']['per_edit_exponent']:.2f} "
             f"(batch {lang['scaling']['batch_exponent']:.2f})"
+        )
+    for entry in report["tables"]:
+        print(
+            f"tables[{entry['grammar']}]: {entry['n_states']} states, cold "
+            f"build {entry['cold_build_seconds'] * 1e3:.1f} ms, disk load "
+            f"{entry['disk_load_seconds'] * 1e3:.1f} ms "
+            f"({entry['disk_speedup']:.1f}x)"
         )
     summary = report["summary"]
     if summary["snapshot_over_journal_overhead_median"] is not None:

@@ -189,9 +189,20 @@ def cmd_tables(args: argparse.Namespace) -> int:
         f"{info['disk_hits']} disk hit(s), "
         f"{info['misses']} miss(es), "
         f"{info['stores']} store(s), "
-        f"{info['disk_errors']} disk error(s)"
+        f"{info['disk_errors']} disk error(s), "
+        f"{info['invalidations']} invalidation(s)"
     )
     print(f"in-memory entries: {info['memory_entries']}")
+    # Origin breakdown: labels are "<origin>:<name>" (builtin, inline,
+    # fragment), so registered built-ins and ad-hoc DSL-authored
+    # grammars are reported distinctly instead of as one opaque pile.
+    origins: dict[str, list[str]] = {}
+    for label in info["labels"].values():
+        origin, _, name = label.partition(":")
+        origins.setdefault(origin or "unknown", []).append(name or label)
+    for origin in sorted(origins):
+        names = ", ".join(sorted(origins[origin]))
+        print(f"  {origin} grammars ({len(origins[origin])}): {names}")
     entries = info["disk_entries"]
     print(f"on-disk entries: {len(entries)}")
     for entry in entries:

@@ -141,6 +141,9 @@ class _DslParser:
         self.rules: list[ExtendedRule] = []
         self.start: str | None = None
         self.declared_tokens: list[str] = []
+        self._rule_lines: dict[str, int] = {}
+        self._prec_lines: dict[str, int] = {}
+        self._start_line = 0
 
     # -- token helpers -----------------------------------------------------
 
@@ -180,6 +183,11 @@ class _DslParser:
             raise DslError("grammar has no rules", self.cur.line)
         start = self.start or self.rules[0].lhs
         lhss = {rule.lhs for rule in self.rules}
+        if self.start is not None and self.start not in lhss:
+            raise DslError(
+                f"%start symbol {self.start!r} has no rule",
+                self._start_line,
+            )
         terminals = set(self.declared_tokens) | set(self.keywords)
         referenced = self._referenced_symbols()
         for sym in referenced:
@@ -242,7 +250,16 @@ class _DslParser:
                 nxt = self.tokens[self.pos + 1]
                 if self.cur.kind == "ident" and nxt.kind == "punct" and nxt.value == ":":
                     break
-                symbols.append(self._terminal_name(self.advance()))
+                symbol = self._terminal_name(self.advance())
+                first = self._prec_lines.get(symbol)
+                if first is not None:
+                    raise DslError(
+                        f"{symbol!r} already has a precedence"
+                        f" (declared at line {first})",
+                        tok.line,
+                    )
+                self._prec_lines[symbol] = tok.line
+                symbols.append(symbol)
             if not symbols:
                 raise DslError(f"{name} needs at least one symbol", tok.line)
             self.precedence.append(
@@ -250,6 +267,7 @@ class _DslParser:
             )
         elif name == "%start":
             self.start = self.expect("ident").value
+            self._start_line = tok.line
         else:
             raise DslError(f"unknown directive {name!r}", tok.line)
 
@@ -264,7 +282,17 @@ class _DslParser:
     # -- rules -----------------------------------------------------------------
 
     def _rule(self) -> None:
-        lhs = self.expect("ident").value
+        tok = self.expect("ident")
+        lhs = tok.value
+        first = self._rule_lines.get(lhs)
+        if first is not None:
+            raise DslError(
+                f"duplicate rule for {lhs!r}"
+                f" (first defined at line {first});"
+                " add alternatives with '|' instead",
+                tok.line,
+            )
+        self._rule_lines[lhs] = tok.line
         self.expect("punct", ":")
         rule = ExtendedRule(lhs)
         rule.alternatives.append(self._alternative())

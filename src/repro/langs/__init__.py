@@ -1,4 +1,5 @@
-"""Bundled languages: MiniC (typedef ambiguity), calculator, LR(2), and
+"""Bundled languages: MiniC (typedef ambiguity), FullC (the same
+ambiguity at real-language scale), calculator, LR(2), mini-Fortran, and
 synthetic program generators standing in for the paper's benchmark suite.
 
 :func:`get_language` is the front door: it maps a built-in language name
@@ -6,14 +7,26 @@ to its (memoized) constructor, so callers share one
 :class:`~repro.language.Language` instance per process -- construction
 is cached both here (per name) and at the parse-table layer (per
 grammar content, see `repro.tables.cache`).
+
+On top of the static registry sits a thin *override* layer feeding the
+service's ``reload_grammar`` op: :func:`set_language_override` installs
+(or replaces) a named language at runtime -- either shadowing a built-in
+or introducing a brand-new name -- and :func:`get_language` consults the
+overrides first.  Overrides are process-local and deliberately **not**
+persisted: durable knowledge of a reloaded grammar lives in session
+snapshots (which carry the grammar source), so a respawned worker
+process rehydrates reloaded sessions correctly without ever seeing this
+layer.
 """
 
 from ..language import Language
 from .calc import calc_language
+from .fullc import FULLC_GRAMMAR, fullc_language
 from .lr2 import lr2_language
 from .minic import (
     MINIC_GRAMMAR,
     declared_name,
+    declared_names,
     is_decl_alternative,
     is_stmt_alternative,
     is_typedef_choice,
@@ -32,34 +45,66 @@ from .minifortran import (
 # ``lru_cache``d in its own module, so repeated lookups are free.
 _REGISTRY = {
     "calc": calc_language,
+    "fullc": fullc_language,
     "minic": minic_language,
     "minifortran": minifortran_language,
     "lr2": lr2_language,
 }
 
+# Runtime overrides installed by ``reload_grammar``: name -> Language.
+_OVERRIDES: dict[str, Language] = {}
+
 
 def language_names() -> tuple[str, ...]:
-    """Names accepted by :func:`get_language`, sorted."""
-    return tuple(sorted(_REGISTRY))
+    """Names accepted by :func:`get_language`, sorted (overrides included)."""
+    return tuple(sorted(set(_REGISTRY) | set(_OVERRIDES)))
 
 
 def get_language(name: str) -> Language:
-    """The built-in language called ``name`` (shared per process)."""
+    """The language called ``name`` (shared per process).
+
+    Runtime overrides (hot-reloaded grammars) shadow the static
+    registry; otherwise the memoized built-in constructor answers.
+    """
+    override = _OVERRIDES.get(name)
+    if override is not None:
+        return override
     try:
         constructor = _REGISTRY[name]
     except KeyError:
         known = ", ".join(language_names())
         raise KeyError(
-            f"unknown built-in language {name!r} (known: {known})"
+            f"unknown language {name!r} (known: {known})"
         ) from None
     return constructor()
 
 
+def set_language_override(name: str, language: Language) -> None:
+    """Install (or replace) ``name`` -> ``language`` at runtime.
+
+    Used by the service's ``reload_grammar`` op after recompiling a
+    grammar, so every later ``open``/rehydrate of ``name`` in this
+    process sees the new tables.  The name need not be a built-in.
+    """
+    _OVERRIDES[name] = language
+
+
+def clear_language_overrides(name: str | None = None) -> None:
+    """Drop one override (or all of them), restoring the built-ins."""
+    if name is None:
+        _OVERRIDES.clear()
+    else:
+        _OVERRIDES.pop(name, None)
+
+
 __all__ = [
     "FortranAnalyzer",
+    "FULLC_GRAMMAR",
     "MINIC_GRAMMAR",
     "MINIFORTRAN_GRAMMAR",
     "calc_language",
+    "clear_language_overrides",
+    "fullc_language",
     "get_language",
     "is_fortran_choice",
     "language_names",
@@ -67,9 +112,11 @@ __all__ = [
     "minifortran_language",
     "parse_minifortran",
     "declared_name",
+    "declared_names",
     "is_decl_alternative",
     "is_stmt_alternative",
     "is_typedef_choice",
     "leading_identifier",
     "minic_language",
+    "set_language_override",
 ]

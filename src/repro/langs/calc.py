@@ -39,7 +39,7 @@ expr : expr '+' expr | expr '-' expr
 @lru_cache(maxsize=None)
 def calc_language() -> Language:
     """The compiled calculator language (deterministic LALR)."""
-    return Language.from_dsl(CALC_GRAMMAR)
+    return Language.from_dsl(CALC_GRAMMAR, label="builtin:calc")
 
 
 def evaluate(node, env: dict[str, float] | None = None) -> dict[str, float]:

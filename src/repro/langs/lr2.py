@@ -31,7 +31,7 @@ v : 'x' ;
 @lru_cache(maxsize=None)
 def lr2_language() -> Language:
     """The compiled Figure 7 grammar (reduce/reduce conflict retained)."""
-    return Language.from_dsl(LR2_GRAMMAR)
+    return Language.from_dsl(LR2_GRAMMAR, label="builtin:lr2")
 
 
 def lookahead_profile(root: Node) -> dict[str, bool]:

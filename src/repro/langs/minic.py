@@ -76,7 +76,7 @@ args : expr ** ',' ;
 @lru_cache(maxsize=None)
 def minic_language() -> Language:
     """The compiled MiniC language (cached; table construction is pure)."""
-    return Language.from_dsl(MINIC_GRAMMAR)
+    return Language.from_dsl(MINIC_GRAMMAR, label="builtin:minic")
 
 
 # -- structure helpers used by semantic analysis and the tests ----------------
@@ -97,6 +97,39 @@ def leading_identifier(node: Node) -> TerminalNode | None:
 def declared_name(declarator: Node) -> TerminalNode | None:
     """The ID bound by a (possibly nested) declarator."""
     return leading_identifier(declarator)
+
+
+def declared_names(node: Node) -> list[TerminalNode]:
+    """Every ID bound by the declarator(s) under ``node``, in order.
+
+    MiniC's ``decl`` carries a single ``init_declarator``; FullC's
+    carries an ``init_declarator_list`` (``int a, *b, c[4];`` is one
+    decl with three binding sites).  This finds each ``init_declarator``
+    in the subtree and takes the name its declarator binds -- the
+    initializer expression, if any, is deliberately not descended into,
+    so ``int a = b;`` binds ``a`` and not ``b``.  Subtrees without any
+    ``init_declarator`` (bare declarators: params, typedefs, members)
+    fall back to the single :func:`declared_name`.
+    """
+    names: list[TerminalNode] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_terminal:
+            continue
+        if current.symbol == "init_declarator":
+            # init_declarator : declarator | declarator '=' expr --
+            # the bound name lives entirely under kids[0].
+            name = declared_name(current.kids[0])
+            if name is not None:
+                names.append(name)
+            continue
+        stack.extend(reversed(current.kids))
+    if not names:
+        name = declared_name(node)
+        if name is not None:
+            names.append(name)
+    return names
 
 
 def is_decl_alternative(alternative: Node) -> bool:

@@ -62,7 +62,7 @@ expr : expr '+' expr | expr '-' expr
 
 @lru_cache(maxsize=None)
 def minifortran_language() -> Language:
-    return Language.from_dsl(MINIFORTRAN_GRAMMAR)
+    return Language.from_dsl(MINIFORTRAN_GRAMMAR, label="builtin:minifortran")
 
 
 def line_terminated(text: str) -> str:

@@ -37,6 +37,11 @@ class Language:
         method: LR table flavour, ``"lalr"`` (default) or ``"slr"``.
         resolve_precedence: apply declared precedence/associativity as
             static syntactic filters during table construction.
+        label: origin tag recorded against the cached parse table.
+            Registered built-ins pass ``builtin:<name>``; anything
+            compiled from ad-hoc DSL text defaults to
+            ``inline:<start>`` so the ``repro tables`` cache listing
+            can tell the two apart.
     """
 
     def __init__(
@@ -44,14 +49,17 @@ class Language:
         spec: GrammarSpec,
         method: Literal["lalr", "slr"] = "lalr",
         resolve_precedence: bool = True,
+        *,
+        label: str | None = None,
     ) -> None:
         self.spec = spec
         self.grammar: Grammar = spec.grammar
+        self.label = label or f"inline:{spec.grammar.start}"
         self.table = build_table(
             spec.grammar,
             method=method,
             resolve_precedence=resolve_precedence,
-            label=f"language:{spec.grammar.start}",
+            label=self.label,
         )
         self.lexer = LexerSpec.from_grammar_spec(spec)
         self.root_production = make_root_production(self.grammar.start)
@@ -63,12 +71,15 @@ class Language:
         text: str,
         method: Literal["lalr", "slr"] = "lalr",
         resolve_precedence: bool = True,
+        *,
+        label: str | None = None,
     ) -> "Language":
         """Compile a grammar DSL description into a language."""
         return cls(
             parse_grammar_spec(text),
             method=method,
             resolve_precedence=resolve_precedence,
+            label=label,
         )
 
     @property

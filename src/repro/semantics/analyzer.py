@@ -48,6 +48,7 @@ from .. import obs
 from ..dag.nodes import Node, ProductionNode, SymbolNode, TerminalNode
 from ..langs.minic import (
     declared_name,
+    declared_names,
     is_decl_alternative,
     is_stmt_alternative,
     is_typedef_choice,
@@ -203,14 +204,16 @@ class TypedefAnalyzer:
     def _bind_decl(
         self, node: ProductionNode, scope: Scope, report: SemanticReport
     ) -> None:
-        name = declared_name(node.kids[1])
-        if name is None:
+        # One decl can carry several binding sites (``int a, *b, c[4];``).
+        names = declared_names(node.kids[1])
+        if not names:
             report.errors.append("declaration without a name")
             return
-        binding = Binding(name.text, Namespace.ORDINARY, "var", node)
-        scope.bind(binding)
-        self.table.record_binding(binding)
-        self._register_site(name.text, Namespace.ORDINARY, node)
+        for name in names:
+            binding = Binding(name.text, Namespace.ORDINARY, "var", node)
+            scope.bind(binding)
+            self.table.record_binding(binding)
+            self._register_site(name.text, Namespace.ORDINARY, node)
         self._walk(node.kids[0], scope, report)  # validate the type_spec
 
     def _bind_func(
@@ -269,8 +272,7 @@ class TypedefAnalyzer:
             if is_decl_alternative(alternative):
                 decl = self._find_decl(alternative)
                 if decl is not None:
-                    term = declared_name(decl.kids[1])
-                    if term is not None:
+                    for term in declared_names(decl.kids[1]):
                         self._register_site(
                             term.text, Namespace.ORDINARY, decl
                         )
@@ -565,18 +567,19 @@ class TypedefAnalyzer:
                 continue
             if isinstance(node, ProductionNode):
                 lhs = node.production.lhs
-                term = None
+                terms: list[TerminalNode] = []
                 if lhs == "typedef_decl":
                     term = declared_name(node.kids[2])
+                    terms = [term] if term is not None else []
                 elif lhs == "decl":
-                    term = declared_name(node.kids[1])
+                    terms = declared_names(node.kids[1])
                 elif lhs == "func_def":
                     kid = node.kids[1]
-                    term = kid if isinstance(kid, TerminalNode) else None
+                    terms = [kid] if isinstance(kid, TerminalNode) else []
                 elif lhs == "param":
                     term = declared_name(node.kids[1])
-                if term is not None:
-                    names.add(term.text)
+                    terms = [term] if term is not None else []
+                names.update(term.text for term in terms)
             stack.extend(node.kids)
         return names
 
@@ -632,8 +635,7 @@ class TypedefAnalyzer:
                         self._register_site(term.text, Namespace.TYPE, node)
                         names.add(term.text)
                 elif lhs == "decl":
-                    term = declared_name(node.kids[1])
-                    if term is not None:
+                    for term in declared_names(node.kids[1]):
                         self._register_site(
                             term.text, Namespace.ORDINARY, node
                         )
@@ -684,8 +686,7 @@ class TypedefAnalyzer:
                 if term is not None:
                     typedefs.add(term.text)
             elif lhs == "decl":
-                term = declared_name(node.kids[1])
-                if term is not None:
+                for term in declared_names(node.kids[1]):
                     ordinary[term.text] = ordinary.get(term.text, 0) + 1
             elif lhs == "func_def":
                 name = node.kids[1]

@@ -101,6 +101,18 @@ class SessionManager:
     def names(self) -> list[str]:
         return list(self._sessions)
 
+    def sessions_using(self, language_label: str) -> list[Session]:
+        """Open sessions speaking the named language (no LRU touch).
+
+        The ``reload_grammar`` fan-out uses this to find every session
+        that must be re-parsed under freshly compiled tables.
+        """
+        return [
+            session
+            for session in self._sessions.values()
+            if session.language_label == language_label
+        ]
+
     # -- lifecycle ------------------------------------------------------------
 
     def open(
@@ -255,6 +267,45 @@ class SessionManager:
         session._persist_marker = marker
         return True
 
+    def _language_for_snapshot(self, snapshot) -> Language:
+        """Resolve the language a snapshot was taken under.
+
+        Named languages resolve through the registry (override layer
+        included) *when the fingerprints agree*.  A mismatch means this
+        process's registry has moved on relative to the snapshot -- or,
+        symmetrically, the snapshot was taken after a ``reload_grammar``
+        this process never saw.  If the snapshot carries the grammar
+        source (reloaded sessions always do), compile exactly that, so
+        the restored DAG payload stays byte-valid; otherwise use the
+        registry's current answer and let :meth:`Session.restore_from`
+        degrade to a text-only reparse under the new tables.
+        """
+        from ..tables.cache import grammar_fingerprint
+
+        lang: Language | None = None
+        if snapshot.language is not None:
+            try:
+                lang = get_language(snapshot.language)
+            except KeyError:
+                lang = None
+            if (
+                lang is not None
+                and snapshot.grammar is not None
+                and grammar_fingerprint(
+                    lang.grammar, lang.table.method, True
+                )
+                != snapshot.table_key
+            ):
+                lang = None
+        if lang is None:
+            label = (
+                f"reload:{snapshot.language}"
+                if snapshot.language is not None
+                else None
+            )
+            lang = Language.from_dsl(snapshot.grammar or "", label=label)
+        return lang
+
     def rehydrate(self, name: str) -> Session | None:
         """Lazily resurrect a snapshotted session; None when unknown.
 
@@ -268,11 +319,7 @@ class SessionManager:
         if snapshot is None:
             return None
         try:
-            lang = (
-                get_language(snapshot.language)
-                if snapshot.language is not None
-                else Language.from_dsl(snapshot.grammar or "")
-            )
+            lang = self._language_for_snapshot(snapshot)
         except Exception:
             obs.incr("persist.rehydrate_errors")
             return None

@@ -74,7 +74,7 @@ from .server import SESSION_OPS, ServiceTransport
 # Ops the dispatcher understands at all; anything else is unknown-op
 # locally (no round trip to a worker that would say the same thing).
 _LOCAL_OPS = {"ping", "stats", "shutdown"}
-_ALL_OPS = _LOCAL_OPS | {"open"} | SESSION_OPS
+_ALL_OPS = _LOCAL_OPS | {"open", "reload_grammar"} | SESSION_OPS
 
 # Extra seconds past the worker's own request timeout before the
 # dispatcher gives up on a reply (the worker answers its own timeouts;
@@ -374,6 +374,12 @@ class ShardDispatcher(ServiceTransport):
             return await self._merged_stats(rid)
         if op not in _ALL_OPS:
             return error_reply(rid, E_UNKNOWN_OP, f"unknown op {op!r}")
+        if op == "reload_grammar" and not request.get("doc"):
+            # Language-form reload is a broadcast: every worker holds
+            # its own override map and its own slice of the session
+            # pool, so all of them must recompile.  (The doc form falls
+            # through to ordinary single-shard routing below.)
+            return await self._broadcast_reload(rid, request)
         doc = request.get("doc")
         if not isinstance(doc, str) or not doc:
             return error_reply(
@@ -465,6 +471,76 @@ class ShardDispatcher(ServiceTransport):
                     },
                 )
                 await self._propagate_exports(sub_reply, dependent_shard)
+
+    async def _broadcast_reload(self, rid: object, request: dict) -> dict:
+        """Fan a language-form ``reload_grammar`` out to every shard.
+
+        Each worker recompiles independently (shared table cache makes
+        N-1 of those compiles disk hits), re-parses its own sessions,
+        and reports what it reloaded; the merged reply unions the
+        session lists.  Post-all-then-await, like the stats fan-out,
+        so a reload pipelined after session ops lands after them on
+        every shard.
+        """
+        payload = dict(request)
+        payload["id"] = None
+        posted = [
+            (handle, self._post(handle, payload))
+            for handle in self._handles
+        ]
+        if not self.request_timeout or self.request_timeout <= 0:
+            timeout = None
+        else:
+            timeout = self.request_timeout + _TIMEOUT_GRACE
+        merged: dict | None = None
+        first_error: dict | None = None
+        reloaded: list[str] = []
+        invalidated = False
+        errors: list[str] = []
+        for handle, (iid, future, error) in posted:
+            reply = error
+            if future is not None:
+                try:
+                    if timeout is None:
+                        reply = await future
+                    else:
+                        reply = await asyncio.wait_for(future, timeout)
+                except asyncio.TimeoutError:
+                    handle.pending.pop(iid, None)
+                    self.timeouts += 1
+                    obs.incr("shard.timeouts")
+                    reply = error_reply(
+                        rid,
+                        E_TIMEOUT,
+                        f"no reload reply from shard {handle.index}",
+                        pending=True,
+                    )
+            if reply and reply.get("ok"):
+                if merged is None:
+                    merged = reply
+                reloaded.extend(reply.get("sessions_reloaded") or [])
+                invalidated = invalidated or bool(reply.get("invalidated"))
+            else:
+                if first_error is None and reply is not None:
+                    first_error = reply
+                detail = (reply or {}).get("message", "no reply")
+                errors.append(f"shard {handle.index}: {detail}")
+        if merged is None:
+            # Every shard failed identically (e.g. the grammar does not
+            # compile); surface the first error verbatim.
+            if first_error is not None:
+                first_error["id"] = rid
+                return first_error
+            return error_reply(rid, E_WORKER, "reload failed")
+        return ok_reply(
+            rid,
+            language=merged.get("language"),
+            table_key=merged.get("table_key"),
+            old_table_key=merged.get("old_table_key"),
+            invalidated=invalidated,
+            sessions_reloaded=sorted(reloaded),
+            **({"partial": errors} if errors else {}),
+        )
 
     def _post(
         self, handle: _Worker, request: dict

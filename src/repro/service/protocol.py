@@ -23,6 +23,10 @@ Requests::
     {"op": "stats", "id": 10}
     {"op": "ping",  "id": 11}
     {"op": "shutdown", "id": 12}
+    {"op": "reload_grammar", "id": 13, "language": "calc",
+     "grammar": "%token NUM /[0-9]+/ ..."}
+    {"op": "reload_grammar", "id": 14, "doc": "a.calc",
+     "grammar": "..."}
 
 **Semantics ops.**  ``analyze`` activates incremental typedef analysis
 on a session: the reply (and every subsequent edit/parse reply) carries
@@ -36,6 +40,25 @@ this to keep each session single-writer).  After that, an edit in
 delta into each dependent, re-deciding only the choice points that
 consulted the changed names; ``invalidate`` is also accepted directly
 from clients driving their own project graph.
+
+**Grammar hot-reload.**  ``reload_grammar`` recompiles a grammar
+without restarting the service, with compile-first semantics: a source
+that does not compile is a ``protocol`` error and changes nothing.  The
+*language form* (``"language": NAME``) rebinds a language name
+service-wide -- future opens resolve to the new grammar, the
+superseded parse table is evicted from the table cache, and every open
+session using that name is re-parsed from its current text under the
+new tables (a rung-2 rebuild: old parse states are meaningless under
+new tables).  The reply carries ``table_key``/``old_table_key`` (the
+new and previous table-cache fingerprints), ``invalidated`` (whether a
+stale cache entry was actually evicted), and ``sessions_reloaded``
+(sorted session names).  The *doc form* (``"doc": NAME``) retargets a
+single session and answers like a ``parse`` with ``"reloaded": true``
+plus the new ``table_key``.  Reloaded sessions snapshot immediately
+with the grammar source embedded, so a rehydration anywhere (same
+process, respawned shard worker) reconstructs the reloaded grammar
+byte-identically.  On the sharded backend the language form broadcasts
+to every worker and the reply unions their ``sessions_reloaded``.
 
 Replies are ``{"id": ..., "ok": true, ...fields}`` or
 ``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``.

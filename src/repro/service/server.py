@@ -30,8 +30,9 @@ import os
 import sys
 
 from .. import obs
-from ..langs import language_names
-from ..tables.cache import cache_stats
+from ..language import Language
+from ..langs import get_language, language_names, set_language_override
+from ..tables.cache import cache_stats, grammar_fingerprint, invalidate
 from .manager import CapacityError, SessionManager
 from .persist import SnapshotStore
 from .protocol import (
@@ -256,6 +257,8 @@ class AnalysisService(ServiceTransport):
                 return ok_reply(rid, stopping=True)
             if op == "open":
                 return await self._handle_open(rid, request)
+            if op == "reload_grammar":
+                return await self._handle_reload(rid, request)
             if op in SESSION_OPS:
                 return await self._handle_session_op(rid, op, request)
             return error_reply(
@@ -295,6 +298,102 @@ class AnalysisService(ServiceTransport):
                 f"cannot open {name!r}: {error} (built-ins: {known})"
             ) from None
         return await self._await_reply(session.open_with(text, rid), rid)
+
+    async def _handle_reload(self, rid: object, request: dict) -> dict:
+        """Hot-swap a grammar without restarting the service.
+
+        Two forms: ``{"op": "reload_grammar", "language": NAME,
+        "grammar": SRC}`` recompiles a (possibly built-in) language
+        name and re-parses every open session using it, while
+        ``{"op": "reload_grammar", "doc": NAME, "grammar": SRC}``
+        retargets a single session.  Compile-first semantics: a grammar
+        that does not compile changes nothing.
+        """
+        source = request.get("grammar")
+        if not isinstance(source, str) or not source:
+            raise ProtocolError(
+                "reload_grammar needs a non-empty string 'grammar'"
+            )
+        lang_name = request.get("language")
+        doc_name = request.get("doc")
+        if (lang_name is None) == (doc_name is None):
+            raise ProtocolError(
+                "reload_grammar needs exactly one of 'language' or 'doc'"
+            )
+
+        if doc_name is not None:
+            if not isinstance(doc_name, str) or not doc_name:
+                raise ProtocolError("'doc' must be a non-empty string")
+            try:
+                new_lang = Language.from_dsl(source)
+            except Exception as error:
+                raise ProtocolError(
+                    f"grammar does not compile: {error}"
+                ) from None
+            try:
+                session = self.manager.get(doc_name)
+            except KeyError:
+                try:
+                    session = self.manager.rehydrate(doc_name)
+                except Exception:
+                    session = None
+                if session is None:
+                    return error_reply(
+                        rid, E_NO_SESSION, f"no session {doc_name!r}"
+                    )
+            future = session.submit_reload(
+                rid, new_lang, grammar_source=source
+            )
+            return await self._await_reply(future, rid)
+
+        if not isinstance(lang_name, str) or not lang_name:
+            raise ProtocolError("'language' must be a non-empty string")
+        try:
+            new_lang = Language.from_dsl(
+                source, label=f"reload:{lang_name}"
+            )
+        except Exception as error:
+            raise ProtocolError(
+                f"grammar does not compile: {error}"
+            ) from None
+        new_key = grammar_fingerprint(
+            new_lang.grammar, new_lang.table.method, True
+        )
+        old_key = None
+        try:
+            old = get_language(lang_name)
+            old_key = grammar_fingerprint(
+                old.grammar, old.table.method, True
+            )
+        except KeyError:
+            pass  # brand-new name: nothing to supersede
+        # From here the new grammar wins: future opens resolve to it...
+        set_language_override(lang_name, new_lang)
+        invalidated = False
+        if old_key is not None and old_key != new_key:
+            # ...and the superseded tables leave both cache layers so a
+            # worker respawn cannot resurrect them.
+            invalidated = invalidate(old_key)
+        obs.incr("service.reloads")
+        # ...while every open session re-parses under the new tables.
+        reloaded: list[str] = []
+        for session in self.manager.sessions_using(lang_name):
+            reply = await self._await_reply(
+                session.submit_reload(
+                    None, new_lang, label=lang_name, grammar_source=source
+                ),
+                None,
+            )
+            if reply.get("ok"):
+                reloaded.append(session.name)
+        return ok_reply(
+            rid,
+            language=lang_name,
+            table_key=new_key,
+            old_table_key=old_key,
+            invalidated=invalidated,
+            sessions_reloaded=sorted(reloaded),
+        )
 
     async def _handle_session_op(
         self, rid: object, op: str, request: dict

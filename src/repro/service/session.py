@@ -98,7 +98,7 @@ class _Work:
     """One queued request: what to do, and whom to answer."""
 
     kind: str  # "edits" | "parse" | "query" | "analyze" | "invalidate"
-    #          # | "snapshot" | "close"
+    #          # | "snapshot" | "reload" | "close"
     rid: object
     future: asyncio.Future
     specs: list[EditSpec] = field(default_factory=list)
@@ -110,6 +110,12 @@ class _Work:
     # "invalidate" payload: an upstream document's export delta.
     names_added: set[str] = field(default_factory=set)
     names_removed: set[str] = field(default_factory=set)
+    # "reload" payload: the replacement language (already compiled on
+    # the dispatcher side -- a grammar that does not build never reaches
+    # the worker) plus the session bookkeeping that goes with it.
+    new_language: Language | None = None
+    new_label: str | None = None
+    new_grammar_source: str | None = None
 
 
 def _resolve(work: _Work, reply: dict) -> None:
@@ -280,6 +286,35 @@ class Session:
             base=self.shadow_text,
             target=self.shadow_text,
             seq=self._seq,
+        )
+        return self._enqueue(work)
+
+    def submit_reload(
+        self,
+        rid: object,
+        language: Language,
+        *,
+        label: str | None = None,
+        grammar_source: str | None = None,
+    ) -> asyncio.Future:
+        """Queue a grammar hot-reload, ordered after pending edits.
+
+        The worker swaps the session's language and reparses the
+        authoritative text under the new tables (the old DAG's parse
+        states are meaningless against a different table, so this is a
+        rung-2 batch reparse by construction, never a crash).  ``rid``
+        may be ``None`` for the service-wide fan-out path.
+        """
+        work = _Work(
+            "reload",
+            rid,
+            asyncio.get_running_loop().create_future(),
+            base=self.shadow_text,
+            target=self.shadow_text,
+            seq=self._seq,
+            new_language=language,
+            new_label=label,
+            new_grammar_source=grammar_source,
         )
         return self._enqueue(work)
 
@@ -554,6 +589,16 @@ class Session:
             self._worker = None
             return True
         try:
+            if work.kind == "reload":
+                # Swap tables *before* the stale check below: the old
+                # committed DAG is built from the old table's states, so
+                # it is discarded and the rebuild parses the same
+                # authoritative text under the new grammar.
+                self.language = work.new_language
+                if work.new_label is not None:
+                    self.language_label = work.new_label
+                self.grammar_source = work.new_grammar_source
+                self.doc = None
             if (
                 self.doc is None
                 or self.doc.text != work.target
@@ -565,7 +610,20 @@ class Session:
                 self._rebuild(work.target)
                 self.version_opened = True
                 self._advance_journal(work.seq, work.target)
-            if work.kind == "snapshot":
+            if work.kind == "reload":
+                fields = self._state_fields()
+                fields["reloaded"] = True
+                fields["table_key"] = grammar_fingerprint(
+                    self.language.grammar, self.language.table.method, True
+                )
+                if self.semantics_active:
+                    fields.update(self._run_semantics())
+                if self._on_persist is not None:
+                    # Text and version may match the pre-reload marker,
+                    # but the snapshot must pick up the new table
+                    # fingerprint (and grammar source): force the save.
+                    self._on_persist(self, force=True)
+            elif work.kind == "snapshot":
                 persisted = False
                 if self._on_persist is not None:
                     persisted = bool(self._on_persist(self, force=True))
@@ -766,7 +824,11 @@ class Session:
         return SessionSnapshot(
             name=self.name,
             language=None if inline else label,
-            grammar=self.grammar_source if inline else None,
+            # Carried even for *named* languages once a hot-reload set
+            # it: a fresh process (e.g. a respawned shard worker) has
+            # only its built-in registry, so the source is what lets it
+            # rehydrate this session under the reloaded grammar.
+            grammar=self.grammar_source,
             engine=self.engine,
             balanced=self.balanced,
             text=self.shadow_text,
@@ -796,7 +858,17 @@ class Session:
         self.version_opened = snapshot.version_opened
         self.restored = True
         doc = None
-        if snapshot.doc_payload is not None:
+        # A payload pickled under a different parse table (the snapshot
+        # predates a grammar reload) must not be grafted onto this
+        # session's tables: fall through to the text-only path, which
+        # reparses under the current grammar.
+        payload_usable = snapshot.doc_payload is not None
+        if payload_usable and snapshot.table_key != grammar_fingerprint(
+            self.language.grammar, self.language.table.method, True
+        ):
+            obs.incr("persist.rehydrate_table_mismatch")
+            payload_usable = False
+        if payload_usable:
             try:
                 doc = Document.restore_state(
                     self.language, snapshot.doc_payload

@@ -54,6 +54,7 @@ __all__ = [
     "cache_stats",
     "clear_cache",
     "grammar_fingerprint",
+    "invalidate",
 ]
 
 CACHE_ENV = "REPRO_TABLE_CACHE"
@@ -73,6 +74,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     disk_errors: int = 0
+    invalidations: int = 0
     entries: dict[str, str] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, int]:
@@ -82,6 +84,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "disk_errors": self.disk_errors,
+            "invalidations": self.invalidations,
         }
 
 
@@ -217,6 +220,10 @@ def build_table(
     a human-readable tag recorded in the stats view.
     """
     key = grammar_fingerprint(grammar, method, resolve_precedence)
+    if label:
+        # Recorded on hits too, so the origin listing survives counter
+        # resets and reflects every grammar this process actually used.
+        _stats.entries.setdefault(key, label)
     table = _memory.get(key)
     if table is not None:
         _stats.memory_hits += 1
@@ -235,9 +242,35 @@ def build_table(
             )
         _disk_store(key, table)
     _memory[key] = table
-    if label:
-        _stats.entries.setdefault(key, label)
     return table
+
+
+def invalidate(key: str) -> bool:
+    """Evict one fingerprint from both cache layers.
+
+    ``reload_grammar`` calls this with the *old* grammar's fingerprint
+    after compiling the replacement: content addressing already makes
+    stale *hits* impossible, but the superseded entry would otherwise
+    linger in memory and on disk forever.  Returns True when either
+    layer actually held the entry; bumps the ``invalidations`` counter
+    (only) then, so tests can assert the eviction happened.
+    """
+    found = _memory.pop(key, None) is not None
+    _stats.entries.pop(key, None)
+    directory = cache_dir()
+    if directory is not None:
+        path = _entry_path(directory, key)
+        try:
+            path.unlink()
+            found = True
+        except FileNotFoundError:
+            pass
+        except OSError:
+            _stats.disk_errors += 1
+    if found:
+        _stats.invalidations += 1
+        obs.incr("cache.invalidations")
+    return found
 
 
 def clear_cache(disk: bool = False) -> None:

@@ -1,0 +1,127 @@
+"""Property tests for grammar-DSL error paths (ISSUE 10).
+
+Each malformed construct must raise :class:`DslError` carrying the
+line number of the offending *token*, not of wherever the parser
+happened to give up.  The properties are checked across seeded random
+placements: the construct is buried under a random amount of valid
+prefix material and the reported line must track it exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.grammar import DslError, parse_grammar
+
+pytestmark = pytest.mark.grammar
+
+
+def _padding(rng, n_lines):
+    """n_lines of valid filler: comments, blank lines, token decls."""
+    lines = []
+    for i in range(n_lines):
+        roll = rng.random()
+        if roll < 0.4:
+            lines.append(f"# filler comment {i}")
+        elif roll < 0.6:
+            lines.append("")
+        else:
+            lines.append(f"%token PAD{i} /pad{i}/")
+    return lines
+
+
+SEEDS = [0, 1, 2, 3, 4]
+
+
+class TestDuplicateRules:
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(DslError, match="duplicate rule for 'a'"):
+            parse_grammar("a : 'x' ;\na : 'y' ;")
+
+    def test_message_names_first_definition(self):
+        with pytest.raises(DslError, match="first defined at line 1"):
+            parse_grammar("a : 'x' ;\nb : 'z' ;\na : 'y' ;")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_line_number_tracks_redefinition(self, seed):
+        rng = random.Random(seed)
+        before = _padding(rng, rng.randrange(0, 8))
+        between = _padding(rng, rng.randrange(0, 8))
+        lines = before + ["a : 'x' ;"] + between + ["a : 'y' ;"]
+        with pytest.raises(DslError) as exc:
+            parse_grammar("\n".join(lines))
+        assert exc.value.line == len(before) + len(between) + 2
+
+    def test_alternatives_are_not_duplicates(self):
+        grammar = parse_grammar("a : 'x' | 'y' ;")
+        assert len(grammar.productions) == 2
+
+
+class TestUndefinedStart:
+    def test_undefined_start_rejected(self):
+        with pytest.raises(DslError, match="%start symbol 'nope' has no rule"):
+            parse_grammar("%start nope\na : 'x' ;")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_line_number_tracks_directive(self, seed):
+        rng = random.Random(seed)
+        before = _padding(rng, rng.randrange(0, 10))
+        lines = before + ["%start ghost", "a : 'x' ;"]
+        with pytest.raises(DslError) as exc:
+            parse_grammar("\n".join(lines))
+        assert exc.value.line == len(before) + 1
+
+    def test_start_naming_a_rule_is_fine(self):
+        grammar = parse_grammar("%start b\na : 'x' ;\nb : a ;")
+        assert grammar.start == "b"
+
+    def test_undeclared_identifiers_still_become_terminals(self):
+        # The historical permissiveness stands: an undefined symbol in
+        # a rule BODY is an implicit terminal, not an error.
+        grammar = parse_grammar("a : mystery ;")
+        assert "mystery" in grammar.terminals
+
+
+class TestMalformedPrecedence:
+    def test_empty_level_rejected(self):
+        with pytest.raises(DslError, match="needs at least one symbol"):
+            parse_grammar("%left\na : 'x' ;")
+
+    def test_duplicate_symbol_across_levels_rejected(self):
+        with pytest.raises(DslError, match="'\\+' already has a precedence"):
+            parse_grammar("%left '+'\n%right '+'\na : 'x' ;")
+
+    def test_duplicate_symbol_within_level_rejected(self):
+        with pytest.raises(DslError, match="already has a precedence"):
+            parse_grammar("%left '+' '+'\na : 'x' ;")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_line_number_tracks_offending_level(self, seed):
+        rng = random.Random(seed)
+        before = _padding(rng, rng.randrange(0, 8))
+        between = _padding(rng, rng.randrange(0, 8))
+        lines = (
+            before
+            + ["%left '*'"]
+            + between
+            + ["%right '*'", "a : 'x' ;"]
+        )
+        with pytest.raises(DslError) as exc:
+            parse_grammar("\n".join(lines))
+        assert exc.value.line == len(before) + len(between) + 2
+        assert "declared at line" in str(exc.value)
+
+    def test_prec_on_fresh_terminal_still_allowed(self):
+        # %prec NEG introducing an implicit terminal must keep working
+        # (the yacc unary-minus idiom used by minic and fullc).
+        grammar = parse_grammar(
+            "%token N /[0-9]+/\n%left '-'\n%nonassoc NEG\n"
+            "e : e '-' e | '-' e %prec NEG | N ;"
+        )
+        assert any(p.prec_symbol == "NEG" for p in grammar.productions)
+
+    def test_distinct_levels_still_stack(self):
+        grammar = parse_grammar(
+            "%left '+'\n%left '*'\na : a '+' a | a '*' a | 'x' ;"
+        )
+        assert len(grammar.precedence) == 2

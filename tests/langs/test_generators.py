@@ -1,15 +1,23 @@
 """Tests for the synthetic program generators."""
 
+import pytest
+
 from repro import Document
 from repro.dag import ambiguity_overhead_percent, choice_points
+from repro.langs import get_language, language_names
 from repro.langs.calc import calc_language
 from repro.langs.generators import (
+    SCENARIO_BUILDERS,
     TABLE1_SUITE,
     MiniCGenerator,
+    apply_edit_step,
     density_for_overhead,
     generate_calc_program,
+    generate_edit_script,
     generate_gcc_corpus,
     generate_minic,
+    generate_program,
+    generate_scenario,
     generate_suite_program,
 )
 from repro.langs.minic import minic_language
@@ -85,6 +93,87 @@ class TestGccCorpus:
         a = generate_gcc_corpus(n_files=3, seed=9)
         b = generate_gcc_corpus(n_files=3, seed=9)
         assert a == b
+
+
+@pytest.mark.grammar
+class TestScenarioGenerator:
+    """The grammar-agnostic layer: every registered grammar gets
+    parse-clean programs and valid, parse-clean edit scripts."""
+
+    def test_covers_every_registered_grammar(self):
+        assert set(SCENARIO_BUILDERS) == set(language_names())
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+    def test_programs_parse_clean(self, name):
+        lang = get_language(name)
+        for seed in (0, 3):
+            doc = Document(lang, generate_program(name, 40, seed=seed))
+            doc.parse()
+            assert not doc.has_errors
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+    def test_edit_scripts_stay_parse_clean(self, name):
+        lang = get_language(name)
+        text, steps = generate_scenario(name, size=30, seed=5, n_steps=10)
+        assert steps
+        for step in steps:
+            assert 0 <= step.offset <= len(text)
+            assert step.offset + step.remove <= len(text)
+            text = apply_edit_step(text, step)
+            doc = Document(lang, text)
+            doc.parse()
+            assert not doc.has_errors, (name, step.note)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+    def test_seed_determinism(self, name):
+        # Same seed: byte-identical program AND identical edit script.
+        for density in (0.0, 0.25):
+            a = generate_program(name, 35, seed=9, ambiguity_density=density)
+            b = generate_program(name, 35, seed=9, ambiguity_density=density)
+            assert a == b
+        text = generate_program(name, 35, seed=9)
+        assert generate_edit_script(name, text, seed=4, n_steps=9) == (
+            generate_edit_script(name, text, seed=4, n_steps=9)
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_program("fullc", 40, seed=1)
+        b = generate_program("fullc", 40, seed=2)
+        assert a != b
+
+    def test_density_creates_choice_points(self):
+        for name in ("minic", "fullc"):
+            doc = Document(
+                get_language(name),
+                generate_program(name, 120, seed=2, ambiguity_density=0.3),
+            )
+            doc.parse()
+            assert choice_points(doc.tree), name
+
+    def test_zero_density_fullc_unambiguous_semantically(self):
+        # Density 0 still permits the grammar's inherent item-level
+        # conflicts but the generator avoids triggering shapes, so the
+        # tree carries no unresolved choice nodes after analysis.
+        doc = Document(
+            get_language("fullc"),
+            generate_program("fullc", 80, seed=2, ambiguity_density=0.0),
+        )
+        doc.parse()
+        assert not doc.has_errors
+
+    def test_binding_toggles_present_for_binding_languages(self):
+        # Over enough steps, typedef/dimension toggles must appear --
+        # they are what exercises incremental re-disambiguation.
+        for name in ("minic", "fullc", "minifortran"):
+            text = generate_program(name, 40, seed=0, ambiguity_density=0.2)
+            steps = generate_edit_script(name, text, seed=0, n_steps=40)
+            assert any("binding" in s.note for s in steps), name
+
+    def test_unknown_language_raises(self):
+        with pytest.raises(KeyError):
+            generate_program("klingon", 10)
+        with pytest.raises(KeyError):
+            generate_edit_script("klingon", "x")
 
 
 class TestCalcGenerator:

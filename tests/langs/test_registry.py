@@ -1,15 +1,23 @@
-"""The built-in language registry: names, memoization, sharing."""
+"""The built-in language registry: names, memoization, overrides."""
 
 import pytest
 
-from repro.langs import get_language, language_names
+from repro.langs import (
+    clear_language_overrides,
+    get_language,
+    language_names,
+    set_language_override,
+)
+from repro.language import Language
+
+ALL_NAMES = ("calc", "fullc", "lr2", "minic", "minifortran")
 
 
 class TestRegistry:
     def test_names(self):
-        assert language_names() == ("calc", "lr2", "minic", "minifortran")
+        assert language_names() == ALL_NAMES
 
-    @pytest.mark.parametrize("name", ["calc", "lr2", "minic", "minifortran"])
+    @pytest.mark.parametrize("name", list(ALL_NAMES))
     def test_every_name_constructs(self, name):
         language = get_language(name)
         assert language.table.n_states > 0
@@ -25,3 +33,32 @@ class TestRegistry:
     def test_unknown_name(self):
         with pytest.raises(KeyError, match="minifortran"):
             get_language("cobol")
+
+
+class TestOverrides:
+    TOY = "s : 'x'* ;"
+
+    def teardown_method(self):
+        clear_language_overrides()
+
+    def test_override_shadows_builtin(self):
+        toy = Language.from_dsl(self.TOY)
+        set_language_override("calc", toy)
+        assert get_language("calc") is toy
+        clear_language_overrides("calc")
+        from repro.langs.calc import calc_language
+
+        assert get_language("calc") is calc_language()
+
+    def test_override_introduces_new_name(self):
+        toy = Language.from_dsl(self.TOY)
+        set_language_override("toy", toy)
+        assert get_language("toy") is toy
+        assert "toy" in language_names()
+        clear_language_overrides()
+        assert "toy" not in language_names()
+        with pytest.raises(KeyError):
+            get_language("toy")
+
+    def test_builtin_names_unchanged_by_default(self):
+        assert language_names() == ALL_NAMES

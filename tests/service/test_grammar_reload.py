@@ -1,0 +1,421 @@
+"""Hot-reload differential suite (ISSUE 10).
+
+``reload_grammar`` must be equivalent to a cold start under the new
+grammar, on every backend:
+
+* **direct service**: every open session using the language re-parses
+  under the new tables; its tree and semantic digest are byte-identical
+  to a fresh parse+analysis of the same text; the superseded table is
+  evicted from the cache (asserted via the ``invalidations`` counter);
+* **snapshots**: a reloaded session force-persists with the grammar
+  source and new table fingerprint embedded, so a later process --
+  whose registry still answers the *old* built-in grammar -- rehydrates
+  it under the reloaded grammar, byte-identically;
+* **sharded backend**: the language form broadcasts to every worker,
+  unions their ``sessions_reloaded``, and survives ``kill -9`` of a
+  worker: the respawn re-parses the session from its snapshot's
+  embedded grammar, not the stale built-in.
+
+The observable probe is a ``print`` statement the reloaded grammar
+accepts and the built-in MiniC grammar rejects: ``error_regions == 0``
+after the probe proves which grammar actually parsed the text.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import Document
+from repro.langs import clear_language_overrides, get_language
+from repro.langs.minic import MINIC_GRAMMAR
+from repro.language import Language
+from repro.semantics import TypedefAnalyzer
+from repro.service import AnalysisService
+from repro.service.persist import SnapshotStore
+from repro.service.pool import ShardDispatcher, shard_for
+from repro.tables import cache
+from repro.tables.cache import grammar_fingerprint
+
+from ..semantics.test_semantics_differential import semantic_digest
+
+pytestmark = [pytest.mark.grammar, pytest.mark.service]
+
+# The reloaded grammar: MiniC plus a `print` statement.  `print 1 + 2;`
+# parses cleanly under it and is a syntax error under built-in MiniC --
+# the differential probe for "which grammar is live".
+VARIANT = MINIC_GRAMMAR.replace(
+    "stmt : expr ';'   @expr_stmt",
+    "stmt : expr ';'   @expr_stmt\n     | 'print' expr ';' @print_stmt",
+)
+assert VARIANT != MINIC_GRAMMAR
+
+AMBIG = "typedef int t;\nint v;\nint main() {\n  t (x);\n  v (y);\n}\n"
+PRINT_LINE = "print 1 + 2;"
+
+
+@pytest.fixture(autouse=True)
+def isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache.CACHE_ENV, str(tmp_path / "tables"))
+    cache.clear_cache()
+    # Seed the built-in table into the isolated cache, as any service
+    # process has done by the time a reload arrives.  (The language
+    # singleton may predate the env swap, in which case nothing else
+    # would populate the entry the reload is supposed to evict.)
+    lang = get_language("minic")
+    cache.build_table(lang.grammar, lang.table.method)
+    cache.reset_stats()
+    yield
+    cache.clear_cache()
+    cache.reset_stats()
+    clear_language_overrides()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def minic_key():
+    lang = get_language("minic")
+    return grammar_fingerprint(lang.grammar, lang.table.method, True)
+
+
+async def open_doc(service, name, language, text, rid=None):
+    reply = await service.handle(
+        {"op": "open", "id": rid, "doc": name, "language": language,
+         "text": text}
+    )
+    assert reply["ok"], reply
+    return reply
+
+
+async def append_print(service, name):
+    """Splice the probe line in before the closing brace; returns the
+    edit reply (its ``error_regions`` says which grammar parsed it)."""
+    query = await service.handle(
+        {"op": "query", "id": None, "doc": name, "echo_text": True}
+    )
+    assert query["ok"], query
+    text = query["text"]
+    # Inside the last block when there is one, top level otherwise
+    # (both are `item` positions).
+    at = text.rindex("}") if "}" in text else len(text)
+    return await service.handle(
+        {"op": "edit", "id": None, "doc": name,
+         "edits": [{"at": at, "remove": 0, "insert": f"  {PRINT_LINE}\n"}]}
+    )
+
+
+class TestDirectReload:
+    def test_language_form_reparses_every_session(self):
+        async def go():
+            service = AnalysisService()
+            await open_doc(service, "a", "minic", AMBIG)
+            await open_doc(service, "b", "minic", "int z;\n")
+            await open_doc(service, "c", "calc", "x = 1;")
+            old_key = minic_key()
+
+            reply = await service.handle(
+                {"op": "reload_grammar", "id": 1, "language": "minic",
+                 "grammar": VARIANT}
+            )
+            assert reply["ok"], reply
+            assert reply["sessions_reloaded"] == ["a", "b"]
+            assert reply["language"] == "minic"
+            assert reply["old_table_key"] == old_key
+            assert reply["table_key"] != old_key
+            assert reply["invalidated"] is True
+
+            # The stale table left both cache layers, observably.
+            assert cache.cache_info()["invalidations"] >= 1
+            # The registry now answers the reloaded grammar.
+            assert minic_key() == reply["table_key"]
+
+            # Text is untouched, byte for byte.
+            query = await service.handle(
+                {"op": "query", "id": 2, "doc": "a", "echo_text": True}
+            )
+            assert query["text"] == AMBIG
+
+            # Both reloaded sessions accept the new construct; the calc
+            # session is untouched by a minic reload.
+            for name in ("a", "b"):
+                edited = await append_print(service, name)
+                assert edited["ok"] and edited["error_regions"] == 0, edited
+            calc_reply = await service.handle(
+                {"op": "parse", "id": 3, "doc": "c"}
+            )
+            assert calc_reply["ok"] and calc_reply["error_regions"] == 0
+
+            await service.aclose()
+
+        run(go())
+
+    def test_reloaded_session_digest_matches_cold_start(self):
+        async def go():
+            service = AnalysisService()
+            await open_doc(service, "a", "minic", AMBIG)
+            reply = await service.handle(
+                {"op": "reload_grammar", "id": 1, "language": "minic",
+                 "grammar": VARIANT}
+            )
+            assert reply["ok"], reply
+            analyzed = await service.handle(
+                {"op": "analyze", "id": 2, "doc": "a"}
+            )
+            assert analyzed["ok"], analyzed
+
+            cold = Document(Language.from_dsl(VARIANT), AMBIG)
+            cold.parse()
+            TypedefAnalyzer(cold).analyze()
+
+            session = service.manager.get("a")
+            assert session.doc.text == cold.text
+            assert semantic_digest(session.doc) == semantic_digest(cold)
+            await service.aclose()
+
+        run(go())
+
+    def test_bad_grammar_changes_nothing(self):
+        async def go():
+            service = AnalysisService()
+            await open_doc(service, "a", "minic", AMBIG)
+            old_key = minic_key()
+            reply = await service.handle(
+                {"op": "reload_grammar", "id": 1, "language": "minic",
+                 "grammar": "::: not a grammar"}
+            )
+            assert not reply["ok"]
+            assert reply["error"]["code"] == "protocol"
+            assert minic_key() == old_key
+            assert cache.cache_info()["invalidations"] == 0
+            # The session is still healthy under the old grammar.
+            edited = await service.handle(
+                {"op": "edit", "id": 2, "doc": "a",
+                 "edits": [{"at": 0, "remove": 0, "insert": "int q;\n"}]}
+            )
+            assert edited["ok"] and edited["error_regions"] == 0
+            await service.aclose()
+
+        run(go())
+
+    def test_request_shape_validated(self):
+        async def go():
+            service = AnalysisService()
+            for bad in (
+                {"op": "reload_grammar", "id": 1, "grammar": VARIANT},
+                {"op": "reload_grammar", "id": 2, "language": "minic",
+                 "doc": "a", "grammar": VARIANT},
+                {"op": "reload_grammar", "id": 3, "language": "minic"},
+                {"op": "reload_grammar", "id": 4, "language": "minic",
+                 "grammar": ""},
+            ):
+                reply = await service.handle(bad)
+                assert not reply["ok"], bad
+                assert reply["error"]["code"] == "protocol"
+            await service.aclose()
+
+        run(go())
+
+    def test_doc_form_retargets_one_session(self):
+        async def go():
+            service = AnalysisService()
+            await open_doc(service, "a", "minic", AMBIG)
+            await open_doc(service, "b", "minic", AMBIG)
+            reply = await service.handle(
+                {"op": "reload_grammar", "id": 1, "doc": "a",
+                 "grammar": VARIANT}
+            )
+            assert reply["ok"] and reply.get("reloaded") is True, reply
+            assert reply["table_key"] != minic_key()
+            # `a` accepts the probe; `b` (still built-in minic) rejects.
+            a_edit = await append_print(service, "a")
+            assert a_edit["error_regions"] == 0, a_edit
+            b_edit = await append_print(service, "b")
+            assert b_edit["error_regions"] >= 1, b_edit
+            await service.aclose()
+
+        run(go())
+
+    def test_reload_unknown_doc_is_no_session(self):
+        async def go():
+            service = AnalysisService()
+            reply = await service.handle(
+                {"op": "reload_grammar", "id": 1, "doc": "ghost",
+                 "grammar": VARIANT}
+            )
+            assert not reply["ok"]
+            assert reply["error"]["code"] == "no-session"
+            await service.aclose()
+
+        run(go())
+
+
+@pytest.mark.persistence
+class TestReloadSnapshots:
+    def test_snapshot_embeds_reloaded_grammar(self, tmp_path):
+        state = tmp_path / "state"
+
+        async def go():
+            service = AnalysisService(state_dir=state)
+            await open_doc(service, "a", "minic", AMBIG)
+            reply = await service.handle(
+                {"op": "reload_grammar", "id": 1, "language": "minic",
+                 "grammar": VARIANT}
+            )
+            assert reply["ok"], reply
+            await service.aclose()
+            return reply["table_key"]
+
+        new_key = run(go())
+        snapshot = SnapshotStore(state).load("a")
+        assert snapshot is not None
+        assert snapshot.language == "minic"
+        assert snapshot.grammar == VARIANT
+        assert snapshot.table_key == new_key
+
+    def test_rehydration_uses_reloaded_grammar(self, tmp_path):
+        state = tmp_path / "state"
+
+        async def first_life():
+            service = AnalysisService(state_dir=state)
+            await open_doc(service, "a", "minic", AMBIG)
+            reply = await service.handle(
+                {"op": "reload_grammar", "id": 1, "language": "minic",
+                 "grammar": VARIANT}
+            )
+            assert reply["ok"], reply
+            edited = await append_print(service, "a")
+            assert edited["error_regions"] == 0, edited
+            final = await service.handle(
+                {"op": "query", "id": 2, "doc": "a", "echo_text": True}
+            )
+            await service.aclose()
+            return final["text"]
+
+        text = run(first_life())
+        # A fresh process knows only the built-in registry: the
+        # override died with the old process.
+        clear_language_overrides()
+
+        async def second_life():
+            service = AnalysisService(state_dir=state)
+            reply = await service.handle(
+                {"op": "parse", "id": 1, "doc": "a", "echo_text": True}
+            )
+            assert reply["ok"], reply
+            assert reply.get("rehydrated") is True
+            # Byte-identical text, parsed under the *reloaded* grammar
+            # (the built-in would report an error region for `print`).
+            assert reply["text"] == text
+            assert reply["error_regions"] == 0
+            session = service.manager.get("a")
+            cold = Document(Language.from_dsl(VARIANT), text)
+            cold.parse()
+            assert session.doc.text == cold.text
+            assert len(session.doc.tokens) == len(cold.tokens)
+            await service.aclose()
+
+        run(second_life())
+
+
+@pytest.mark.multiproc
+@pytest.mark.slow
+class TestShardReload:
+    def _two_docs(self):
+        names, i = [], 0
+        while len(names) < 2:
+            name = f"doc{i}.mc"
+            if not names or shard_for(name, 2) != shard_for(names[0], 2):
+                names.append(name)
+            i += 1
+        return names
+
+    def test_broadcast_reload_unions_sessions(self, tmp_path):
+        async def go():
+            service = ShardDispatcher(
+                2, request_timeout=30.0, state_dir=tmp_path / "state"
+            )
+            names = self._two_docs()
+            for name in names:
+                await open_doc(service, name, "minic", AMBIG)
+            reply = await service.handle(
+                {"op": "reload_grammar", "id": 1, "language": "minic",
+                 "grammar": VARIANT}
+            )
+            assert reply["ok"], reply
+            assert reply["sessions_reloaded"] == sorted(names)
+            assert reply["invalidated"] is True
+            # Every worker now parses the new construct.
+            for name in names:
+                edited = await append_print(service, name)
+                assert edited["ok"] and edited["error_regions"] == 0, edited
+            # The merged stats fold in each worker's cache counters.
+            stats = (await service.handle({"op": "stats", "id": 2}))["stats"]
+            assert stats["table_cache"]["invalidations"] >= 1
+            await service.aclose()
+
+        run(go())
+
+    def test_bad_grammar_rejected_by_every_shard(self, tmp_path):
+        async def go():
+            service = ShardDispatcher(
+                2, request_timeout=30.0, state_dir=tmp_path / "state"
+            )
+            await open_doc(service, "doc0.mc", "minic", AMBIG)
+            reply = await service.handle(
+                {"op": "reload_grammar", "id": 1, "language": "minic",
+                 "grammar": ":::"}
+            )
+            assert not reply["ok"]
+            assert reply["error"]["code"] == "protocol"
+            await service.aclose()
+
+        run(go())
+
+    def test_killed_worker_rehydrates_under_reloaded_grammar(self, tmp_path):
+        async def go():
+            service = ShardDispatcher(
+                2, request_timeout=30.0, state_dir=tmp_path / "state"
+            )
+            names = self._two_docs()
+            for name in names:
+                await open_doc(service, name, "minic", AMBIG)
+            reply = await service.handle(
+                {"op": "reload_grammar", "id": 1, "language": "minic",
+                 "grammar": VARIANT}
+            )
+            assert reply["ok"], reply
+            victim = names[0]
+            edited = await append_print(service, victim)
+            assert edited["error_regions"] == 0, edited
+            expected_text = (await service.handle(
+                {"op": "query", "id": 2, "doc": victim, "echo_text": True}
+            ))["text"]
+
+            # kill -9 the worker owning the reloaded session.
+            handle = service._handles[shard_for(victim, 2)]
+            handle.proc.kill()
+
+            deadline = asyncio.get_running_loop().time() + 30.0
+            while True:
+                reply = await service.handle(
+                    {"op": "parse", "id": 3, "doc": victim,
+                     "echo_text": True}
+                )
+                if reply["ok"]:
+                    break
+                assert reply["error"]["code"] in (
+                    "worker-restart", "timeout"
+                ), reply
+                assert asyncio.get_running_loop().time() < deadline, reply
+                await asyncio.sleep(0.1)
+
+            # The respawned worker's registry only knows built-in minic;
+            # zero error regions proves it rehydrated from the
+            # snapshot's embedded VARIANT grammar, byte-identically.
+            assert reply.get("rehydrated") is True, reply
+            assert reply["text"] == expected_text
+            assert reply["error_regions"] == 0
+            await service.aclose()
+
+        run(go())

@@ -94,6 +94,34 @@ class TestLayers:
         assert cache.cache_info()["misses"] == 2
 
 
+class TestInvalidate:
+    def test_invalidate_evicts_both_layers(self):
+        cache.build_table(_grammar())
+        key = cache.grammar_fingerprint(_grammar(), "lalr", True)
+        assert cache.invalidate(key) is True
+        info = cache.cache_info()
+        assert info["memory_entries"] == 0
+        assert info["disk_entries"] == []
+        assert info["invalidations"] == 1
+
+    def test_rebuild_after_invalidate_is_a_miss(self):
+        cache.build_table(_grammar())
+        key = cache.grammar_fingerprint(_grammar(), "lalr", True)
+        cache.invalidate(key)
+        cache.build_table(_grammar())
+        assert cache.cache_info()["misses"] == 2
+
+    def test_unknown_key_is_a_noop(self):
+        assert cache.invalidate("0" * 64) is False
+        assert cache.cache_info()["invalidations"] == 0
+
+    def test_invalidate_drops_label(self):
+        cache.build_table(_grammar(), label="builtin:demo")
+        key = cache.grammar_fingerprint(_grammar(), "lalr", True)
+        cache.invalidate(key)
+        assert key not in cache.cache_info()["labels"]
+
+
 class TestResilience:
     def test_corrupt_entry_is_rebuilt(self, tmp_path):
         t1 = cache.build_table(_grammar())

@@ -165,6 +165,25 @@ class TestTablesCommand:
         assert main(["tables"]) == 0
         assert "on-disk entries: 0" in capsys.readouterr().out
 
+    def test_origin_breakdown_separates_inline_from_builtin(
+        self, calc_files, capsys
+    ):
+        # An ad-hoc grammar file compiles with an inline: label...
+        grammar, _ = calc_files
+        assert main(["grammar", grammar]) == 0
+        # ...while a registered language records a builtin: label (the
+        # memoized constructor is cleared so build_table actually runs
+        # inside this isolated cache).
+        from repro.langs.lr2 import lr2_language
+
+        lr2_language.cache_clear()
+        lr2_language()
+        capsys.readouterr()
+        assert main(["tables", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "inline grammars (1): program" in out
+        assert "builtin grammars (1): lr2" in out
+
 
 class TestDiagnostics:
     def test_summary_fields(self):
